@@ -1,0 +1,527 @@
+package focus
+
+// One benchmark per table and figure of the paper's evaluation (§VI),
+// plus ablation benches for the design constants DESIGN.md calls out.
+// cmd/focus-bench prints the corresponding paper-style rows; these
+// benches make the same measurements repeatable under `go test -bench`.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"focus/internal/assembly"
+	"focus/internal/coarsen"
+	"focus/internal/debruijn"
+	"focus/internal/dist"
+	"focus/internal/greedyasm"
+	"focus/internal/overlap"
+	"focus/internal/partition"
+	"focus/internal/simulate"
+	"focus/internal/taxonomy"
+)
+
+const (
+	benchScale    = 0.15
+	benchCoverage = 6
+)
+
+type benchData struct {
+	com    *simulate.Community
+	rs     *simulate.ReadSet
+	stages *Stages
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[int]*benchData{}
+)
+
+// benchSet builds (once) the community, reads and pipeline stages for a
+// paper data set analogue.
+func benchSet(b *testing.B, id int) *benchData {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if d, ok := benchCache[id]; ok {
+		return d
+	}
+	spec, err := simulate.PaperDataSet(id, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	com, err := simulate.BuildCommunity(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := simulate.SimulateReads(com, simulate.PaperReadConfig(id, benchCoverage))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Preprocess.Trim5 = 8
+	cfg.Coarsen.MinNodes = 64
+	s, err := BuildStages(rs.Reads, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &benchData{com: com, rs: rs, stages: s}
+	benchCache[id] = d
+	return d
+}
+
+// BenchmarkTable1DataSets measures generating each synthetic data set
+// (community + reads), the Table I workload.
+func BenchmarkTable1DataSets(b *testing.B) {
+	for id := 1; id <= 3; id++ {
+		b.Run(fmt.Sprintf("D%d", id), func(b *testing.B) {
+			spec, err := simulate.PaperDataSet(id, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bases int
+			for i := 0; i < b.N; i++ {
+				com, err := simulate.BuildCommunity(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rs, err := simulate.SimulateReads(com, simulate.PaperReadConfig(id, benchCoverage))
+				if err != nil {
+					b.Fatal(err)
+				}
+				bases = rs.TotalBases()
+			}
+			b.ReportMetric(float64(bases), "bases")
+		})
+	}
+}
+
+// BenchmarkFig4PartitionSpeedup measures hybrid-set partitioning (k=16)
+// and reports the projected speedup at each processor count (Fig. 4).
+func BenchmarkFig4PartitionSpeedup(b *testing.B) {
+	d := benchSet(b, 1)
+	for _, procs := range []int{1, 2, 4, 8, 12} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				res, _, err := d.stages.PartitionHybrid(16, procs, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				base := res.SimulatedMakespan(1)
+				at := res.SimulatedMakespan(procs)
+				if at > 0 {
+					speedup = float64(base) / float64(at)
+				}
+			}
+			b.ReportMetric(speedup, "x-speedup")
+		})
+	}
+}
+
+// BenchmarkFig5HybridVsMultilevel times partitioning of the hybrid graph
+// set vs the full multilevel graph set (Fig. 5).
+func BenchmarkFig5HybridVsMultilevel(b *testing.B) {
+	for id := 1; id <= 3; id++ {
+		d := benchSet(b, id)
+		for _, k := range []int{8, 16} {
+			b.Run(fmt.Sprintf("D%d/hybrid/k=%d", id, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := d.stages.PartitionHybrid(k, k/2, int64(i+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("D%d/multilevel/k=%d", id, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := d.stages.PartitionMultilevel(k, k/2, int64(i+1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2EdgeCut partitions both ways and reports the edge cuts
+// on the overlap graph (Table II).
+func BenchmarkTable2EdgeCut(b *testing.B) {
+	for id := 1; id <= 3; id++ {
+		d := benchSet(b, id)
+		for _, k := range []int{8, 16} {
+			b.Run(fmt.Sprintf("D%d/k=%d", id, k), func(b *testing.B) {
+				var hybCut, mlCut int64
+				for i := 0; i < b.N; i++ {
+					hres, _, err := d.stages.PartitionHybrid(k, k/2, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mres, _, err := d.stages.PartitionMultilevel(k, k/2, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_, hybCut = d.stages.HybridCuts(hres)
+					mlCut = partition.EdgeCut(d.stages.G0, mres.Labels())
+				}
+				b.ReportMetric(float64(hybCut), "cut-hyb")
+				b.ReportMetric(float64(mlCut), "cut-ovl")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6DistributedAlgorithms times the distributed trimming and
+// traversal phases per partition count and reports the k-worker projected
+// times (Fig. 6).
+func BenchmarkFig6DistributedAlgorithms(b *testing.B) {
+	d := benchSet(b, 1)
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			pool, err := dist.NewLocalPool(2, assembly.NewService)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			var trimNs, travNs float64
+			for i := 0; i < b.N; i++ {
+				res, err := d.stages.Assemble(pool, k, 2, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				trimNs = float64(res.SimTrimTime(k).Nanoseconds())
+				travNs = float64(res.SimTraverseTime(k).Nanoseconds())
+			}
+			b.ReportMetric(trimNs, "trim-ns@k-workers")
+			b.ReportMetric(travNs, "trav-ns@k-workers")
+		})
+	}
+}
+
+// BenchmarkTable3AssemblyStats runs the assembly per partition count and
+// reports N50 / max / contig count (Table III).
+func BenchmarkTable3AssemblyStats(b *testing.B) {
+	d := benchSet(b, 1)
+	for _, k := range []int{4, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			pool, err := dist.NewLocalPool(2, assembly.NewService)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			var st Stats
+			for i := 0; i < b.N; i++ {
+				res, err := d.stages.Assemble(pool, k, 2, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = res.Stats
+			}
+			b.ReportMetric(float64(st.N50), "N50-bp")
+			b.ReportMetric(float64(st.MaxContig), "max-bp")
+			b.ReportMetric(float64(st.NumContigs), "contigs")
+		})
+	}
+}
+
+// BenchmarkFig7GenusDistribution measures read classification plus the
+// genus-by-partition cross-tabulation, reporting the phylum cohesion
+// contrast (Fig. 7).
+func BenchmarkFig7GenusDistribution(b *testing.B) {
+	d := benchSet(b, 2)
+	var refs []taxonomy.Reference
+	for _, g := range d.com.Genomes {
+		refs = append(refs, taxonomy.Reference{Name: g.ID, Genus: g.Genus, Phylum: g.Phylum, Seq: g.Seq})
+	}
+	cls, err := taxonomy.NewClassifier(refs, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, _, err := d.stages.PartitionHybrid(16, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := d.stages.ReadLabels(res)
+	b.ResetTimer()
+	var same, diff float64
+	for i := 0; i < b.N; i++ {
+		dst, err := taxonomy.GenusDistribution(cls, d.stages.Reads, labels, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		same, diff = dst.PhylumCohesion()
+	}
+	b.ReportMetric(same, "same-phylum-cos")
+	b.ReportMetric(diff, "cross-phylum-cos")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationBalanceBound varies the 1.03 balance constant.
+func BenchmarkAblationBalanceBound(b *testing.B) {
+	d := benchSet(b, 1)
+	for _, bal := range []float64{1.01, 1.03, 1.10, 1.50} {
+		b.Run(fmt.Sprintf("balance=%.2f", bal), func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				opt := partition.DefaultOptions(8)
+				opt.Balance = bal
+				res, err := partition.PartitionSet(d.stages.Hyb.Set, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = partition.EdgeCut(d.stages.Hyb.G, res.Labels())
+			}
+			b.ReportMetric(float64(cut), "edge-cut")
+		})
+	}
+}
+
+// BenchmarkAblationEarlyStop varies the 50-move KL early-stop constant.
+func BenchmarkAblationEarlyStop(b *testing.B) {
+	d := benchSet(b, 1)
+	for _, stop := range []int{10, 50, 200, 1 << 30} {
+		b.Run(fmt.Sprintf("earlyStop=%d", stop), func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				opt := partition.DefaultOptions(8)
+				opt.EarlyStop = stop
+				res, err := partition.PartitionSet(d.stages.Hyb.Set, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = partition.EdgeCut(d.stages.Hyb.G, res.Labels())
+			}
+			b.ReportMetric(float64(cut), "edge-cut")
+		})
+	}
+}
+
+// BenchmarkAblationKWay compares full partitioning against skipping the
+// final global k-way refinement.
+func BenchmarkAblationKWay(b *testing.B) {
+	d := benchSet(b, 1)
+	for _, skip := range []bool{false, true} {
+		b.Run(fmt.Sprintf("skipKWay=%v", skip), func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				opt := partition.DefaultOptions(8)
+				opt.SkipKWay = skip
+				res, err := partition.PartitionSet(d.stages.Hyb.Set, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = partition.EdgeCut(d.stages.Hyb.G, res.Labels())
+			}
+			b.ReportMetric(float64(cut), "edge-cut")
+		})
+	}
+}
+
+// BenchmarkAblationCoarsenLevels varies the coarsening depth (the paper's
+// sets had ten levels).
+func BenchmarkAblationCoarsenLevels(b *testing.B) {
+	d := benchSet(b, 1)
+	for _, levels := range []int{3, 6, 10} {
+		b.Run(fmt.Sprintf("maxLevels=%d", levels), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := coarsen.DefaultOptions()
+				opt.MaxLevels = levels
+				opt.MinNodes = 32
+				set := coarsen.Multilevel(d.stages.G0, opt)
+				if set.Coarsest().NumNodes() == 0 {
+					b.Fatal("empty coarsest graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBand varies the banded Needleman-Wunsch band width in
+// overlap detection.
+func BenchmarkAblationBand(b *testing.B) {
+	d := benchSet(b, 1)
+	reads := d.stages.Reads[:min(len(d.stages.Reads), 600)]
+	for _, band := range []int{2, 6, 12} {
+		b.Run(fmt.Sprintf("band=%d", band), func(b *testing.B) {
+			var found int
+			for i := 0; i < b.N; i++ {
+				cfg := overlap.DefaultConfig()
+				cfg.Align.Band = band
+				recs, err := overlap.FindOverlaps(reads, 2, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				found = len(recs)
+			}
+			b.ReportMetric(float64(found), "overlaps")
+		})
+	}
+}
+
+// BenchmarkAblationSeeding compares stepped k-mer sampling against
+// (w,k)-minimizer seeding in overlap detection.
+func BenchmarkAblationSeeding(b *testing.B) {
+	d := benchSet(b, 1)
+	reads := d.stages.Reads[:min(len(d.stages.Reads), 800)]
+	for _, mode := range []struct {
+		name string
+		cfg  func() overlap.Config
+	}{
+		{"step", func() overlap.Config { return overlap.DefaultConfig() }},
+		{"minimizer", func() overlap.Config {
+			c := overlap.DefaultConfig()
+			c.Seeding = overlap.SeedMinimizer
+			c.MinimizerW = 8
+			return c
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var found int
+			for i := 0; i < b.N; i++ {
+				recs, err := overlap.FindOverlaps(reads, 2, mode.cfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+				found = len(recs)
+			}
+			b.ReportMetric(float64(found), "overlaps")
+		})
+	}
+}
+
+// BenchmarkAblationTransport compares the two wire protocols: stateless
+// (each phase reships its partition subgraphs) vs stateful (partitions
+// shipped once, phases send removal deltas only).
+func BenchmarkAblationTransport(b *testing.B) {
+	d := benchSet(b, 1)
+	for _, stateful := range []bool{false, true} {
+		name := "stateless"
+		if stateful {
+			name = "stateful-delta"
+		}
+		b.Run(name, func(b *testing.B) {
+			pool, err := dist.NewLocalPool(2, assembly.NewService)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			cfg := d.stages.Cfg
+			cfg.Assembly.Stateful = stateful
+			stages := *d.stages
+			stages.Cfg = cfg
+			for i := 0; i < b.N; i++ {
+				if _, err := stages.Assemble(pool, 4, 2, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineDeBruijn contrasts the de Bruijn baseline (the model
+// family the paper positions Focus against) with the Focus overlap-graph
+// pipeline on the same read set, reporting both N50s.
+func BenchmarkBaselineDeBruijn(b *testing.B) {
+	d := benchSet(b, 1)
+	b.Run("debruijn", func(b *testing.B) {
+		var n50 int
+		for i := 0; i < b.N; i++ {
+			contigs, err := debruijn.Assemble(d.stages.Reads, debruijn.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			n50 = assembly.ComputeStats(contigs).N50
+		}
+		b.ReportMetric(float64(n50), "N50-bp")
+	})
+	b.Run("greedy", func(b *testing.B) {
+		var n50 int
+		for i := 0; i < b.N; i++ {
+			contigs := greedyasm.AssembleFromRecords(d.stages.Reads, d.stages.Records, greedyasm.DefaultConfig())
+			n50 = assembly.ComputeStats(contigs).N50
+		}
+		b.ReportMetric(float64(n50), "N50-bp")
+	})
+	b.Run("focus", func(b *testing.B) {
+		pool, err := dist.NewLocalPool(2, assembly.NewService)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		var n50 int
+		for i := 0; i < b.N; i++ {
+			res, err := d.stages.Assemble(pool, 4, 2, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n50 = res.Stats.N50
+		}
+		b.ReportMetric(float64(n50), "N50-bp")
+	})
+}
+
+// BenchmarkVariantCalling measures the distributed variant scan (the
+// paper's future-work extension).
+func BenchmarkVariantCalling(b *testing.B) {
+	d := benchSet(b, 2)
+	dg, err := assembly.BuildDiGraph(d.stages.Hyb, d.stages.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := dist.NewLocalPool(2, assembly.NewService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	labels := make([]int32, dg.NumNodes())
+	for v := range labels {
+		labels[v] = int32(v % 4)
+	}
+	drv, err := assembly.NewDriver(pool, dg, labels, 4, assembly.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var calls int
+	for i := 0; i < b.N; i++ {
+		vars, err := drv.CallVariants(assembly.DefaultVariantConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls = len(vars)
+	}
+	b.ReportMetric(float64(calls), "calls")
+}
+
+// BenchmarkPipeline measures the whole pipeline end to end.
+func BenchmarkPipeline(b *testing.B) {
+	spec, err := simulate.PaperDataSet(1, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	com, err := simulate.BuildCommunity(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := simulate.SimulateReads(com, simulate.PaperReadConfig(1, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Preprocess.Trim5 = 8
+	cfg.Coarsen.MinNodes = 16
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Assemble(rs.Reads, cfg, 4, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+// Command focus-qc prints read quality-control statistics (per-position
+// quality, GC and quality distributions, k-mer coverage spectrum, adapter
+// detection) used to choose Focus preprocessing parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"focus/internal/dna"
+	"focus/internal/qc"
+)
+
+func main() {
+	var (
+		in = flag.String("in", "", "input reads (.fasta/.fastq, optionally .gz)")
+		k  = flag.Int("k", 21, "k-mer size for the coverage spectrum (0 disables)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "focus-qc: -in is required")
+		os.Exit(2)
+	}
+	reads, err := dna.ReadsFromFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := qc.DefaultConfig()
+	cfg.SpectrumK = *k
+	rep, err := qc.Analyze(reads, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "focus-qc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+// Command focus-worker runs a standalone Focus assembly worker: it hosts
+// the distributed graph algorithm service (transitive reduction,
+// containment removal, error removal, path extraction) over TCP RPC so a
+// master (cmd/focus with -worker-addrs) can distribute hybrid-graph
+// partitions across processes or machines. This is the repository's
+// stand-in for the paper's MPI ranks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"focus/internal/assembly"
+	"focus/internal/dist"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7465", "address to listen on")
+	)
+	flag.Parse()
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "focus-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("focus-worker listening on %s\n", lis.Addr())
+	if err := dist.Serve(lis, &assembly.Service{}); err != nil {
+		fmt.Fprintln(os.Stderr, "focus-worker:", err)
+		os.Exit(1)
+	}
+}

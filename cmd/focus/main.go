@@ -1,0 +1,210 @@
+// Command focus is the end-to-end assembler CLI: it reads FASTA/FASTQ,
+// runs the full Focus pipeline (preprocess, overlap alignment, multilevel
+// + hybrid graph construction, partitioning, distributed trimming and
+// traversal) and writes contigs as FASTA.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"focus"
+	"focus/internal/assembly"
+	"focus/internal/dist"
+	"focus/internal/dna"
+	"focus/internal/graphio"
+	"focus/internal/polish"
+	"focus/internal/scaffold"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input reads (.fastq or .fasta)")
+		out       = flag.String("out", "contigs.fasta", "output contig FASTA")
+		parts     = flag.Int("partitions", 4, "number of graph partitions (power of two)")
+		workers   = flag.Int("workers", 4, "number of in-process workers")
+		addrs     = flag.String("worker-addrs", "", "comma-separated TCP worker addresses (overrides -workers)")
+		trim5     = flag.Int("trim5", 0, "fixed 5' trim length")
+		trim3     = flag.Int("trim3", 0, "fixed 3' trim length")
+		minQ      = flag.Float64("minq", 12, "sliding-window minimum mean quality")
+		subsets   = flag.Int("subsets", 4, "read subsets for parallel alignment")
+		seedK     = flag.Int("k", 16, "seed k-mer length for overlap detection")
+		minOvl    = flag.Int("min-overlap", 50, "minimum overlap length (bp)")
+		minIdent  = flag.Float64("min-identity", 0.90, "minimum overlap identity")
+		quietFlag = flag.Bool("quiet", false, "suppress progress output")
+		variants  = flag.Bool("variants", false, "call variants from hybrid-graph bubbles (before bubble popping)")
+		saveOvl   = flag.String("save-overlaps", "", "write overlap records to this file after alignment")
+		loadOvl   = flag.String("load-overlaps", "", "skip alignment and load overlap records from this file")
+		doScaf    = flag.Bool("scaffold", false, "input is mate-ordered paired reads: deduplicate strands and scaffold the contigs")
+		insMean   = flag.Int("insert-mean", 400, "paired-end insert size mean (with -scaffold)")
+		insSD     = flag.Int("insert-sd", 40, "paired-end insert size standard deviation (with -scaffold)")
+		doPolish  = flag.Bool("polish", false, "deduplicate strands and polish contigs by read realignment before output")
+		stateful  = flag.Bool("stateful", false, "use the stateful worker protocol (ship partitions once, then removal deltas)")
+		distAlign = flag.Bool("distributed-align", false, "run read alignment on the worker pool instead of local goroutines")
+		retries   = flag.Int("rpc-retries", 0, "failover retries per partition task (stateless protocol only)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "focus: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reads, err := dna.ReadsFromFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := focus.DefaultConfig()
+	cfg.Preprocess.Trim5 = *trim5
+	cfg.Preprocess.Trim3 = *trim3
+	cfg.Preprocess.MinQuality = *minQ
+	cfg.Subsets = *subsets
+	cfg.Overlap.K = *seedK
+	cfg.Overlap.Align.MinLength = *minOvl
+	cfg.Overlap.Align.MinIdentity = *minIdent
+	cfg.Assembly.MinEdgeOverlap = *minOvl
+	cfg.Assembly.MinEdgeIdentity = *minIdent
+	cfg.Assembly.Stateful = *stateful
+	cfg.Assembly.RPCRetries = *retries
+	cfg.CallVariants = *variants
+
+	var pool *dist.Pool
+	if *addrs != "" {
+		pool, err = dist.DialPool(strings.Split(*addrs, ","))
+	} else {
+		if *workers <= 0 {
+			*workers = 1
+		}
+		pool, err = dist.NewLocalPool(*workers, assembly.NewService)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer pool.Close()
+
+	var stages *focus.Stages
+	if *loadOvl != "" {
+		rf, err := os.Open(*loadOvl)
+		if err != nil {
+			fatal(err)
+		}
+		numReads, records, err := graphio.ReadRecords(rf)
+		rf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		stages, err = focus.BuildStagesFromRecords(reads, records, numReads, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	} else if *distAlign {
+		stages, err = focus.BuildStagesOnPool(reads, cfg, pool)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		stages, err = focus.BuildStages(reads, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *saveOvl != "" {
+		wf, err := os.Create(*saveOvl)
+		if err != nil {
+			fatal(err)
+		}
+		if err := graphio.WriteRecords(wf, len(stages.Reads), stages.Records); err != nil {
+			fatal(err)
+		}
+		if err := wf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := stages.Assemble(pool, *parts, pool.Size(), 1)
+	if err != nil {
+		fatal(err)
+	}
+
+	var polishStats polish.Stats
+	if *doPolish {
+		// Polishing needs unique anchors, so strand twins are removed
+		// first (each region is assembled on both strands).
+		kept := scaffold.Dedupe(res.Contigs, scaffold.DefaultConfig())
+		sub := make([][]byte, len(kept))
+		for i, ci := range kept {
+			sub[i] = res.Contigs[ci]
+		}
+		res.Contigs, polishStats, err = polish.Polish(sub, stages.Reads, polish.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		res.Stats = assembly.ComputeStats(res.Contigs)
+	}
+
+	outSeqs := res.Contigs
+	outName := "contig"
+	var scafRes *scaffold.Result
+	if *doScaf {
+		scfg := scaffold.DefaultConfig()
+		scfg.InsertMean = *insMean
+		scfg.InsertSD = *insSD
+		scafRes, err = scaffold.Build(res.Contigs, reads, scfg)
+		if err != nil {
+			fatal(err)
+		}
+		outSeqs = scafRes.Sequences
+		outName = "scaffold"
+	}
+
+	var contigs []dna.Read
+	for i, c := range outSeqs {
+		contigs = append(contigs, dna.Read{ID: fmt.Sprintf("%s_%05d len=%d", outName, i, len(c)), Seq: c})
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer of.Close()
+	if err := dna.WriteFASTA(of, contigs, 80); err != nil {
+		fatal(err)
+	}
+
+	if !*quietFlag {
+		fmt.Printf("reads in:         %d\n", len(reads))
+		fmt.Printf("reads kept (+rc): %d\n", len(stages.Reads))
+		fmt.Printf("overlaps:         %d\n", len(stages.Records))
+		fmt.Printf("overlap graph:    %d nodes, %d edges\n", stages.G0.NumNodes(), stages.G0.NumEdges())
+		fmt.Printf("graph levels:     %d\n", len(stages.MSet.Levels))
+		fmt.Printf("hybrid graph:     %d nodes, %d edges\n", stages.Hyb.G.NumNodes(), stages.Hyb.G.NumEdges())
+		fmt.Printf("trim removed:     %d transitive, %d contained, %d false edges, %d tips/bubbles\n",
+			res.Trim.TransitiveEdges, res.Trim.ContainedNodes, res.Trim.FalseEdges, res.Trim.DeadEndNodes)
+		fmt.Printf("contigs:          %d (N50 %d bp, max %d bp, %d bases)\n",
+			res.Stats.NumContigs, res.Stats.N50, res.Stats.MaxContig, res.Stats.TotalBases)
+		if *doPolish {
+			fmt.Printf("polish:           %d corrections from %d placed reads\n",
+				polishStats.Corrections, polishStats.PlacedReads)
+		}
+		if scafRes != nil {
+			st := assembly.ComputeStats(scafRes.Sequences)
+			fmt.Printf("scaffolds:        %d from %d deduplicated contigs, %d link bundles (N50 %d bp, max %d bp)\n",
+				st.NumContigs, len(scafRes.Kept), scafRes.Links, st.N50, st.MaxContig)
+		}
+		if *variants {
+			fmt.Printf("variants:         %d called\n", len(res.Variants))
+			for _, va := range res.Variants {
+				fmt.Printf("  %s between nodes %d/%d (cov %d/%d, identity %.3f, %d mismatches)\n",
+					va.Kind, va.AlleleA, va.AlleleB, va.CovA, va.CovB, va.Identity, va.Mismatches)
+			}
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "focus:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Partitioning: compare partitioning the hybrid graph set (the paper's
+// biology-aware scheme) against partitioning the full multilevel graph
+// set (the naive baseline) — runtime and overlap-graph edge cut, the
+// paper's Fig. 5 / Table II experiment in miniature.
+//
+//	go run ./examples/partitioning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"focus"
+	"focus/internal/metrics"
+	"focus/internal/partition"
+	"focus/internal/simulate"
+)
+
+func main() {
+	spec, err := simulate.PaperDataSet(1, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	com, err := simulate.BuildCommunity(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := simulate.SimulateReads(com, simulate.PaperReadConfig(1, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := focus.DefaultConfig()
+	cfg.Preprocess.Trim5 = 8
+	stages, err := focus.BuildStages(rs.Reads, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlap graph G0: %d nodes, %d edges (total edge weight %d)\n",
+		stages.G0.NumNodes(), stages.G0.NumEdges(), stages.G0.TotalEdgeWeight())
+	fmt.Printf("multilevel set: %d levels; hybrid graph G'0: %d nodes, %d edges\n\n",
+		len(stages.MSet.Levels), stages.Hyb.G.NumNodes(), stages.Hyb.G.NumEdges())
+
+	t := &metrics.Table{Headers: []string{"k", "Hybrid time", "Multilevel time", "Ratio", "Cut (hyb->G0)", "Cut (multilevel)", "Cut % of total"}}
+	for _, k := range []int{8, 16, 32} {
+		hres, ht, err := stages.PartitionHybrid(k, k/2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mres, mt, err := stages.PartitionMultilevel(k, k/2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, hybCut := stages.HybridCuts(hres)
+		mCut := partition.EdgeCut(stages.G0, mres.Labels())
+		pct := 100 * float64(hybCut) / float64(stages.G0.TotalEdgeWeight())
+		t.AddRow(k, ht, mt, float64(mt)/float64(ht), hybCut, mCut, fmt.Sprintf("%.3f%%", pct))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\nThe paper's claims: hybrid-set partitioning takes roughly half the time")
+	fmt.Println("of multilevel-set partitioning, with an equal or better edge cut.")
+}

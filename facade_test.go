@@ -1,0 +1,107 @@
+package focus
+
+import (
+	"bytes"
+	"testing"
+
+	"focus/internal/assembly"
+	"focus/internal/dist"
+)
+
+// TestAssembleOnPool covers the externally-managed-pool entry point.
+func TestAssembleOnPool(t *testing.T) {
+	reads, _ := simReads(t, 3500, 7, 300)
+	pool, err := dist.NewLocalPool(2, assembly.NewService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	res, stages, err := AssembleOnPool(reads, testConfig(), 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NumContigs == 0 || stages.Hyb == nil {
+		t.Fatalf("result %+v", res.Stats)
+	}
+}
+
+// TestBuildStagesOnPoolMatchesLocal: the distributed-alignment facade
+// yields the same stages as the local one.
+func TestBuildStagesOnPoolMatchesLocal(t *testing.T) {
+	reads, _ := simReads(t, 3500, 7, 301)
+	cfg := testConfig()
+	local, err := BuildStages(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := dist.NewLocalPool(2, assembly.NewService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	remote, err := BuildStagesOnPool(reads, cfg, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Records) != len(local.Records) {
+		t.Fatalf("records: %d vs %d", len(remote.Records), len(local.Records))
+	}
+	for i := range local.Records {
+		if remote.Records[i] != local.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if remote.Hyb.G.NumNodes() != local.Hyb.G.NumNodes() {
+		t.Fatalf("hybrid nodes: %d vs %d", remote.Hyb.G.NumNodes(), local.Hyb.G.NumNodes())
+	}
+}
+
+// TestStatefulProtocolThroughFacade: stateful config yields identical
+// contigs to stateless through the public API.
+func TestStatefulProtocolThroughFacade(t *testing.T) {
+	reads, _ := simReads(t, 3500, 7, 302)
+	run := func(stateful bool) *AssemblyResult {
+		cfg := testConfig()
+		cfg.Assembly.Stateful = stateful
+		res, _, err := Assemble(reads, cfg, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if len(a.Contigs) != len(b.Contigs) {
+		t.Fatalf("contigs: %d vs %d", len(a.Contigs), len(b.Contigs))
+	}
+	for i := range a.Contigs {
+		if !bytes.Equal(a.Contigs[i], b.Contigs[i]) {
+			t.Fatalf("contig %d differs between protocols", i)
+		}
+	}
+}
+
+// TestBuildStagesErrorPaths covers facade validation.
+func TestBuildStagesErrorPaths(t *testing.T) {
+	// Preprocessing drops everything -> error.
+	cfg := testConfig()
+	cfg.Preprocess.MinLen = 10_000
+	reads, _ := simReads(t, 3000, 4, 303)
+	if _, err := BuildStages(reads, cfg); err == nil {
+		t.Error("empty post-preprocess read set accepted")
+	}
+	// Invalid record count in BuildStagesFromRecords.
+	if _, err := BuildStagesFromRecords(reads, nil, 7, testConfig()); err == nil {
+		t.Error("wrong numReads accepted")
+	}
+	// Partitioning k not a power of two surfaces from PartitionHybrid.
+	s, err := BuildStages(reads, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.PartitionHybrid(3, 1, 1); err == nil {
+		t.Error("k=3 accepted")
+	}
+	if _, _, err := s.PartitionMultilevel(0, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,403 @@
+// Package focus is a from-scratch Go implementation of the Focus parallel
+// NGS assembler of Warnke-Sommer & Ali, "Parallel NGS Assembly Using
+// Distributed Assembly Graphs Enriched with Biological Knowledge"
+// (IEEE IPDPSW 2017).
+//
+// The pipeline mirrors the paper: read preprocessing, k-mer seeded
+// pairwise overlap alignment over a suffix-array index, overlap graph
+// construction, multilevel coarsening by heavy-edge matching, hybrid
+// graph construction from best-representative read clusters, multilevel
+// graph partitioning (greedy growing + Kernighan–Lin + global k-way
+// refinement), and distributed graph trimming/traversal on an RPC
+// master/worker pool, ending in contigs.
+//
+// The one-call entry point is Assemble; BuildStages exposes the
+// intermediate artifacts (overlap graph, multilevel set, hybrid graph)
+// that the benchmark harness measures individually.
+package focus
+
+import (
+	"fmt"
+	"time"
+
+	"focus/internal/assembly"
+	"focus/internal/coarsen"
+	"focus/internal/dist"
+	"focus/internal/dna"
+	"focus/internal/graph"
+	"focus/internal/hybrid"
+	"focus/internal/metrics"
+	"focus/internal/overlap"
+	"focus/internal/partition"
+	"focus/internal/preprocess"
+)
+
+// Read is a sequencing read (re-exported for API users).
+type Read = dna.Read
+
+// Stats are assembly quality statistics (N50, max contig, contig count).
+type Stats = assembly.Stats
+
+// TrimStats report what distributed graph trimming removed.
+type TrimStats = assembly.TrimStats
+
+// Config bundles the per-stage configurations.
+type Config struct {
+	Preprocess preprocess.Config
+	// Subsets is the number of read subsets for parallel alignment
+	// (paper §II.A-B).
+	Subsets  int
+	Overlap  overlap.Config
+	Coarsen  coarsen.Options
+	Hybrid   hybrid.Config
+	Assembly assembly.Config
+	// CallVariants enables distributed variant detection (the paper's
+	// §VI.D future-work extension): bubbles are classified and reported
+	// before the error-removal phase pops them.
+	CallVariants bool
+	Variants     assembly.VariantConfig
+}
+
+// Variant is a distributed variant call (re-exported).
+type Variant = assembly.Variant
+
+// DefaultConfig mirrors the paper's published parameters: 50 bp minimum
+// overlap at 90% identity, 1.03 balance, 50-move KL early stop, ~10 graph
+// levels.
+func DefaultConfig() Config {
+	cfg := Config{
+		Preprocess: preprocess.Config{
+			Window:     10,
+			Step:       1,
+			MinQuality: 12,
+			MinLen:     40,
+			AddReverse: true,
+		},
+		Subsets:  4,
+		Overlap:  overlap.DefaultConfig(),
+		Coarsen:  coarsen.DefaultOptions(),
+		Hybrid:   hybrid.DefaultConfig(),
+		Assembly: assembly.DefaultConfig(),
+	}
+	// Keep enough coarsest-level nodes for up to 64-way partitioning.
+	cfg.Coarsen.MinNodes = 128
+	cfg.Variants = assembly.DefaultVariantConfig()
+	return cfg
+}
+
+// Stages holds every intermediate pipeline artifact.
+type Stages struct {
+	Cfg      Config
+	Reads    []Read // preprocessed reads; index = overlap graph node id
+	PreStats preprocess.Stats
+	Records  []overlap.Record
+	G0       *graph.Graph // the overlap graph
+	MSet     *graph.Set   // multilevel graph set {G0…Gn}
+	Hyb      *hybrid.Hybrid
+	Timings  map[string]time.Duration
+}
+
+// BuildStages runs the pipeline through hybrid graph construction.
+func BuildStages(raw []Read, cfg Config) (*Stages, error) {
+	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
+	step := func(name string, f func() error) error {
+		t0 := time.Now()
+		err := f()
+		s.Timings[name] = time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("focus: %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := step("preprocess", func() error {
+		var err error
+		s.Reads, s.PreStats, err = preprocess.Run(raw, cfg.Preprocess)
+		if err == nil && len(s.Reads) == 0 {
+			err = fmt.Errorf("no reads survived preprocessing")
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := step("overlap", func() error {
+		subsets := cfg.Subsets
+		if subsets <= 0 {
+			subsets = 1
+		}
+		var err error
+		s.Records, err = overlap.FindOverlaps(s.Reads, subsets, cfg.Overlap)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := step("graph", func() error {
+		var err error
+		s.G0, err = overlap.BuildGraph(len(s.Reads), s.Records)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := step("coarsen", func() error {
+		s.MSet = coarsen.Multilevel(s.G0, cfg.Coarsen)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := step("hybrid", func() error {
+		var err error
+		s.Hyb, err = hybrid.Build(s.MSet, s.Reads, s.Records, cfg.Hybrid)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BuildStagesOnPool is BuildStages with the read-alignment stage
+// distributed over the worker pool (paper §II.B: subset pairs are sent to
+// different processors), instead of local goroutines. Results are
+// identical to BuildStages for the same configuration.
+func BuildStagesOnPool(raw []Read, cfg Config, pool *dist.Pool) (*Stages, error) {
+	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
+	t0 := time.Now()
+	var err error
+	s.Reads, s.PreStats, err = preprocess.Run(raw, cfg.Preprocess)
+	s.Timings["preprocess"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: preprocess: %w", err)
+	}
+	if len(s.Reads) == 0 {
+		return nil, fmt.Errorf("focus: preprocess: no reads survived")
+	}
+	subsets := cfg.Subsets
+	if subsets <= 0 {
+		subsets = 1
+	}
+	t0 = time.Now()
+	s.Records, err = overlap.FindOverlapsDistributed(pool, s.Reads, subsets, cfg.Overlap)
+	s.Timings["overlap"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: overlap: %w", err)
+	}
+	t0 = time.Now()
+	s.G0, err = overlap.BuildGraph(len(s.Reads), s.Records)
+	s.Timings["graph"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: graph: %w", err)
+	}
+	t0 = time.Now()
+	s.MSet = coarsen.Multilevel(s.G0, cfg.Coarsen)
+	s.Timings["coarsen"] = time.Since(t0)
+	t0 = time.Now()
+	s.Hyb, err = hybrid.Build(s.MSet, s.Reads, s.Records, cfg.Hybrid)
+	s.Timings["hybrid"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: hybrid: %w", err)
+	}
+	return s, nil
+}
+
+// BuildStagesFromRecords is BuildStages with the overlap-detection stage
+// (the pipeline's dominant cost) replaced by precomputed records, e.g.
+// loaded via graphio.ReadRecords. Preprocessing is deterministic, so the
+// records saved from one run apply to a later run over the same input and
+// config; numReads (from the record file) is validated against the
+// preprocessed read count.
+func BuildStagesFromRecords(raw []Read, records []overlap.Record, numReads int, cfg Config) (*Stages, error) {
+	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
+	t0 := time.Now()
+	var err error
+	s.Reads, s.PreStats, err = preprocess.Run(raw, cfg.Preprocess)
+	s.Timings["preprocess"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: preprocess: %w", err)
+	}
+	if len(s.Reads) != numReads {
+		return nil, fmt.Errorf("focus: record file was built for %d reads, preprocessing produced %d (input or config changed)", numReads, len(s.Reads))
+	}
+	s.Records = records
+	t0 = time.Now()
+	s.G0, err = overlap.BuildGraph(len(s.Reads), s.Records)
+	s.Timings["graph"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: graph: %w", err)
+	}
+	t0 = time.Now()
+	s.MSet = coarsen.Multilevel(s.G0, cfg.Coarsen)
+	s.Timings["coarsen"] = time.Since(t0)
+	t0 = time.Now()
+	s.Hyb, err = hybrid.Build(s.MSet, s.Reads, s.Records, cfg.Hybrid)
+	s.Timings["hybrid"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: hybrid: %w", err)
+	}
+	return s, nil
+}
+
+// PartitionHybrid partitions the hybrid graph set (the paper's
+// knowledge-enriched scheme, §III) into k parts and returns the result
+// with its wall-clock time.
+func (s *Stages) PartitionHybrid(k, procs int, seed int64) (*partition.Result, time.Duration, error) {
+	opt := partition.DefaultOptions(k)
+	opt.Procs = procs
+	opt.Seed = seed
+	t0 := time.Now()
+	res, err := partition.PartitionSet(s.Hyb.Set, opt)
+	return res, time.Since(t0), err
+}
+
+// PartitionMultilevel partitions the full multilevel graph set (the
+// paper's naive baseline) into k parts.
+func (s *Stages) PartitionMultilevel(k, procs int, seed int64) (*partition.Result, time.Duration, error) {
+	opt := partition.DefaultOptions(k)
+	opt.Procs = procs
+	opt.Seed = seed
+	t0 := time.Now()
+	res, err := partition.PartitionSet(s.MSet, opt)
+	return res, time.Since(t0), err
+}
+
+// HybridCuts returns the edge cut of a hybrid partitioning measured on the
+// hybrid graph G'0 and, after projection through the representatives, on
+// the overlap graph G0 (Table II's two columns).
+func (s *Stages) HybridCuts(res *partition.Result) (hybridCut, overlapCut int64) {
+	hybridCut = partition.EdgeCut(s.Hyb.G, res.Labels())
+	overlapCut = partition.EdgeCut(s.G0, s.ReadLabels(res))
+	return hybridCut, overlapCut
+}
+
+// ReadLabels projects a hybrid partitioning onto the overlap graph nodes
+// (= reads).
+func (s *Stages) ReadLabels(res *partition.Result) []int32 {
+	return partition.MapLabels(res.Labels(), s.Hyb.RepOf)
+}
+
+// AssemblyResult is the output of the distributed assembly phases.
+type AssemblyResult struct {
+	Contigs      [][]byte
+	Stats        Stats
+	Trim         TrimStats
+	Paths        [][]int32
+	Labels       []int32   // hybrid-node partition labels used
+	Variants     []Variant // non-nil only when Config.CallVariants is set
+	TrimTime     time.Duration
+	TraverseTime time.Duration
+	// TraverseTaskTimes are the measured per-partition traversal task
+	// durations (trimming's are inside Trim.PhaseTaskTimes).
+	TraverseTaskTimes []time.Duration
+}
+
+// SimTrimTime projects the measured per-partition trimming task times
+// onto a pool of w workers (phases are barriers, tasks within a phase are
+// scheduled LPT). It reproduces the paper's Fig. 6 runtime-vs-partitions
+// behaviour on hosts with fewer cores than partitions.
+func (r *AssemblyResult) SimTrimTime(w int) time.Duration {
+	var total time.Duration
+	for _, phase := range r.Trim.PhaseTaskTimes {
+		total += metrics.Makespan(phase, w)
+	}
+	return total
+}
+
+// SimTraverseTime projects the per-partition traversal task times onto w
+// workers.
+func (r *AssemblyResult) SimTraverseTime(w int) time.Duration {
+	return metrics.Makespan(r.TraverseTaskTimes, w)
+}
+
+// Assemble runs distributed trimming and traversal of the hybrid graph on
+// the given worker pool with k partitions, and constructs contigs.
+// The hybrid graph is rebuilt (not reused) so Assemble can be called
+// repeatedly with different k on the same Stages.
+func (s *Stages) Assemble(pool *dist.Pool, k, procs int, seed int64) (*AssemblyResult, error) {
+	dg, err := assembly.BuildDiGraph(s.Hyb, s.Records)
+	if err != nil {
+		return nil, fmt.Errorf("focus: digraph: %w", err)
+	}
+	var labels []int32
+	if k == 1 {
+		labels = make([]int32, dg.NumNodes())
+	} else {
+		res, _, err := s.PartitionHybrid(k, procs, seed)
+		if err != nil {
+			return nil, fmt.Errorf("focus: partition: %w", err)
+		}
+		labels = res.Labels()
+	}
+	driver, err := assembly.NewDriver(pool, dg, labels, k, s.Cfg.Assembly)
+	if err != nil {
+		return nil, err
+	}
+	defer driver.Close() // releases worker-side state in stateful mode
+	out := &AssemblyResult{Labels: labels}
+	t0 := time.Now()
+	if s.Cfg.CallVariants {
+		// Variants are read off the graph right after transitive
+		// reduction: containment's false-positive-edge removal severs
+		// allelic branches (their verification alignments fail at the
+		// divergence) and error removal pops the surviving bubbles.
+		if err := driver.TrimTransitive(&out.Trim); err != nil {
+			return nil, err
+		}
+		out.Variants, err = driver.CallVariants(s.Cfg.Variants)
+		if err != nil {
+			return nil, err
+		}
+		if err := driver.TrimContainment(&out.Trim); err != nil {
+			return nil, err
+		}
+		err = driver.TrimErrors(&out.Trim)
+	} else {
+		out.Trim, err = driver.Trim()
+	}
+	out.TrimTime = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	out.Paths, out.TraverseTaskTimes, err = driver.TraverseTimed()
+	out.TraverseTime = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	out.Contigs = driver.BuildContigs(out.Paths)
+	out.Stats = assembly.ComputeStats(out.Contigs)
+	return out, nil
+}
+
+// Assemble is the one-call pipeline: preprocess, align, build graphs,
+// partition into k, trim and traverse on `workers` in-process RPC
+// workers, and return contigs.
+func Assemble(raw []Read, cfg Config, k, workers int) (*AssemblyResult, *Stages, error) {
+	s, err := BuildStages(raw, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	pool, err := dist.NewLocalPool(workers, assembly.NewService)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pool.Close()
+	res, err := s.Assemble(pool, k, workers, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, s, nil
+}
+
+// AssembleOnPool is Assemble against an externally managed pool (e.g. TCP
+// workers started with cmd/focus-worker).
+func AssembleOnPool(raw []Read, cfg Config, k int, pool *dist.Pool) (*AssemblyResult, *Stages, error) {
+	s, err := BuildStages(raw, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.Assemble(pool, k, pool.Size(), 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, s, nil
+}

@@ -1,0 +1,145 @@
+// Package align implements banded Needleman–Wunsch global alignment and
+// the overlap classification Focus uses to turn read pairs into overlap
+// graph edges (paper §II.B): suffix/prefix overlaps in either orientation
+// and containments, each scored by alignment length and percent identity.
+package align
+
+import "fmt"
+
+// Scoring holds the alignment score parameters. The zero value is not
+// usable; use DefaultScoring.
+type Scoring struct {
+	Match    int
+	Mismatch int // negative
+	Gap      int // negative
+}
+
+// DefaultScoring matches a standard unit-cost overlap configuration.
+var DefaultScoring = Scoring{Match: 1, Mismatch: -1, Gap: -2}
+
+// Alignment is the result of a global alignment of two (sub)sequences.
+type Alignment struct {
+	Score   int
+	Matches int // exactly matching columns
+	Columns int // total alignment columns (matches + mismatches + gaps)
+}
+
+// Identity returns the fraction of alignment columns that match.
+func (a Alignment) Identity() float64 {
+	if a.Columns == 0 {
+		return 0
+	}
+	return float64(a.Matches) / float64(a.Columns)
+}
+
+const negInf = int(-1) << 30
+
+// traceback directions.
+const (
+	tbNone byte = iota
+	tbDiag
+	tbUp   // gap in b (consume a[i])
+	tbLeft // gap in a (consume b[j])
+)
+
+// BandedNW globally aligns a and b restricting the DP to |i-j| <= band
+// ("banded Needleman–Wunsch", paper §II.B). If the length difference
+// exceeds the band the band is widened to fit, since a global alignment
+// must reach the corner cell. It returns the alignment summary.
+func BandedNW(a, b []byte, band int, sc Scoring) Alignment {
+	if band < 0 {
+		band = 0
+	}
+	if d := len(a) - len(b); d > band || -d > band {
+		if d < 0 {
+			d = -d
+		}
+		band = d
+	}
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		// Pure gap alignment.
+		return Alignment{Score: (n + m) * sc.Gap, Matches: 0, Columns: n + m}
+	}
+	width := 2*band + 1
+	// score[i][k] with k = j - i + band, j in [i-band, i+band].
+	score := make([]int, (n+1)*width)
+	trace := make([]byte, (n+1)*width)
+	idx := func(i, j int) int { return i*width + (j - i + band) }
+	inBand := func(i, j int) bool { d := j - i; return d >= -band && d <= band && j >= 0 && j <= m }
+
+	for i := 0; i <= n; i++ {
+		for j := i - band; j <= i+band; j++ {
+			if j < 0 || j > m {
+				continue
+			}
+			p := idx(i, j)
+			switch {
+			case i == 0 && j == 0:
+				score[p] = 0
+				trace[p] = tbNone
+			case i == 0:
+				score[p] = j * sc.Gap
+				trace[p] = tbLeft
+			case j == 0:
+				score[p] = i * sc.Gap
+				trace[p] = tbUp
+			default:
+				best, dir := negInf, tbNone
+				if inBand(i-1, j-1) {
+					s := score[idx(i-1, j-1)]
+					if a[i-1] == b[j-1] {
+						s += sc.Match
+					} else {
+						s += sc.Mismatch
+					}
+					if s > best {
+						best, dir = s, tbDiag
+					}
+				}
+				if inBand(i-1, j) {
+					if s := score[idx(i-1, j)] + sc.Gap; s > best {
+						best, dir = s, tbUp
+					}
+				}
+				if inBand(i, j-1) {
+					if s := score[idx(i, j-1)] + sc.Gap; s > best {
+						best, dir = s, tbLeft
+					}
+				}
+				score[p] = best
+				trace[p] = dir
+			}
+		}
+	}
+
+	aln := Alignment{Score: score[idx(n, m)]}
+	// Traceback to count matches and columns.
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch trace[idx(i, j)] {
+		case tbDiag:
+			if a[i-1] == b[j-1] {
+				aln.Matches++
+			}
+			i--
+			j--
+		case tbUp:
+			i--
+		case tbLeft:
+			j--
+		default:
+			// Unreachable for a well-formed DP; guard against loops.
+			panic(fmt.Sprintf("align: broken traceback at (%d,%d)", i, j))
+		}
+		aln.Columns++
+	}
+	return aln
+}
+
+// NW is the unbanded Needleman–Wunsch reference implementation (used in
+// tests and for very short sequences).
+func NW(a, b []byte, sc Scoring) Alignment {
+	band := len(a) + len(b)
+	return BandedNW(a, b, band, sc)
+}

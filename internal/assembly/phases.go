@@ -1,0 +1,405 @@
+package assembly
+
+import (
+	"sort"
+
+	"focus/internal/align"
+)
+
+// Config bounds the trimming phases. Defaults follow the paper: false
+// positive edges are contig overlaps shorter than 50 bp (§V.B); dead-end
+// and bubble limits follow Velvet-style trimming (§V.C).
+type Config struct {
+	// MinEdgeOverlap is the minimum verified contig-contig overlap; edges
+	// below it are false positives (paper: 50 bp).
+	MinEdgeOverlap int
+	// MinEdgeIdentity is the minimum verified overlap identity.
+	MinEdgeIdentity float64
+	// Band is the half-width of the verification alignment band.
+	Band int
+	// DiagTolerance bounds |diag(v,w)+diag(w,x)-diag(v,x)| for an edge to
+	// count as transitive.
+	DiagTolerance int
+	// MaxTipNodes and MinTipLen bound dead-end path removal: a chain of
+	// at most MaxTipNodes whose total contig span is under MinTipLen.
+	MaxTipNodes int
+	MinTipLen   int
+	// RPCRetries is the number of other workers a failed partition task
+	// is retried on before the phase errors (0 = fail fast, like an MPI
+	// job). Applies to the stateless protocol only.
+	RPCRetries int
+	// Stateful selects the delta protocol: partitions are shipped to
+	// their workers once and later phases send only the removals applied
+	// since (closer to the paper's MPI ranks, and cheaper on the wire).
+	Stateful bool
+}
+
+// DefaultConfig returns the paper-aligned trimming configuration.
+func DefaultConfig() Config {
+	return Config{
+		MinEdgeOverlap:  50,
+		MinEdgeIdentity: 0.90,
+		Band:            16,
+		DiagTolerance:   8,
+		MaxTipNodes:     3,
+		MinTipLen:       400,
+	}
+}
+
+// WireNode is a node shipped to a worker: contigs are included so the
+// containment phase can align neighbours locally.
+type WireNode struct {
+	ID     int32
+	Part   int32
+	Weight int64
+	Contig []byte
+}
+
+// Subgraph is one partition's view: the locally owned nodes plus the ghost
+// neighbourhood and every edge inside that closed neighbourhood.
+type Subgraph struct {
+	Part  int32
+	Local []int32
+	Nodes []WireNode
+	Edges []Edge
+}
+
+// EdgePair identifies a directed edge on the wire.
+type EdgePair struct{ From, To int32 }
+
+// view is a worker-local indexed form of a Subgraph.
+type view struct {
+	sub     *Subgraph
+	part    map[int32]int32
+	weight  map[int32]int64
+	contig  map[int32][]byte
+	isLocal map[int32]bool
+	out     map[int32][]Edge
+	in      map[int32][]Edge
+}
+
+func newView(sub *Subgraph) *view {
+	v := &view{
+		sub:     sub,
+		part:    make(map[int32]int32, len(sub.Nodes)),
+		weight:  make(map[int32]int64, len(sub.Nodes)),
+		contig:  make(map[int32][]byte, len(sub.Nodes)),
+		isLocal: make(map[int32]bool, len(sub.Local)),
+		out:     make(map[int32][]Edge),
+		in:      make(map[int32][]Edge),
+	}
+	for _, n := range sub.Nodes {
+		v.part[n.ID] = n.Part
+		v.weight[n.ID] = n.Weight
+		v.contig[n.ID] = n.Contig
+	}
+	for _, id := range sub.Local {
+		v.isLocal[id] = true
+	}
+	for _, e := range sub.Edges {
+		v.out[e.From] = append(v.out[e.From], e)
+		v.in[e.To] = append(v.in[e.To], e)
+	}
+	return v
+}
+
+func (v *view) liveOut(id int32) []Edge {
+	var r []Edge
+	for _, e := range v.out[id] {
+		if !e.Contain {
+			r = append(r, e)
+		}
+	}
+	return r
+}
+
+func (v *view) liveIn(id int32) []Edge {
+	var r []Edge
+	for _, e := range v.in[id] {
+		if !e.Contain {
+			r = append(r, e)
+		}
+	}
+	return r
+}
+
+// TransitiveEdges finds edges of local nodes that are transitive
+// (paper §V.A, after Myers' string graph construction): v->x is removable
+// when some v->w and w->x exist whose placements compose to v->x within
+// DiagTolerance.
+func TransitiveEdges(sub *Subgraph, cfg Config) []EdgePair {
+	v := newView(sub)
+	var out []EdgePair
+	for _, id := range sub.Local {
+		outs := v.liveOut(id)
+		if len(outs) < 2 {
+			continue
+		}
+		// Index direct successors.
+		direct := make(map[int32]Edge, len(outs))
+		for _, e := range outs {
+			direct[e.To] = e
+		}
+		for _, evw := range outs {
+			for _, ewx := range v.liveOut(evw.To) {
+				evx, ok := direct[ewx.To]
+				if !ok || ewx.To == id {
+					continue
+				}
+				want := evw.Diag + ewx.Diag
+				d := evx.Diag - want
+				if d < 0 {
+					d = -d
+				}
+				if int(d) <= cfg.DiagTolerance {
+					out = append(out, EdgePair{From: id, To: evx.To})
+				}
+			}
+		}
+	}
+	return dedupePairs(out)
+}
+
+func dedupePairs(pairs []EdgePair) []EdgePair {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].From != pairs[j].From {
+			return pairs[i].From < pairs[j].From
+		}
+		return pairs[i].To < pairs[j].To
+	})
+	out := pairs[:0]
+	for i, p := range pairs {
+		if i == 0 || p != pairs[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Removal is the result of a containment or error scan.
+type Removal struct {
+	Nodes []int32
+	Edges []EdgePair
+}
+
+// ContainmentScan verifies every edge incident to a local node by aligning
+// the two contigs on the recorded placement (paper §V.B). Contigs
+// contained in a neighbour are recorded for removal; edges whose verified
+// overlap is shorter than MinEdgeOverlap or below MinEdgeIdentity are
+// false positives and recorded for removal.
+func ContainmentScan(sub *Subgraph, cfg Config) Removal {
+	v := newView(sub)
+	var rm Removal
+	nodeSet := map[int32]bool{}
+	check := func(e Edge) {
+		a, b := v.contig[e.From], v.contig[e.To]
+		acfg := align.Config{
+			MinLength:   cfg.MinEdgeOverlap,
+			MinIdentity: cfg.MinEdgeIdentity,
+			Band:        cfg.Band,
+			Scoring:     align.DefaultScoring,
+		}
+		ov, ok := align.OverlapOnDiagonal(a, b, int(e.Diag), acfg)
+		if !ok {
+			rm.Edges = append(rm.Edges, EdgePair{From: e.From, To: e.To})
+			return
+		}
+		var contained int32 = -1
+		switch ov.Kind {
+		case align.KindAContainsB:
+			contained = e.To
+		case align.KindBContainsA:
+			contained = e.From
+		}
+		if contained >= 0 && v.isLocal[contained] && !nodeSet[contained] {
+			nodeSet[contained] = true
+			rm.Nodes = append(rm.Nodes, contained)
+		}
+	}
+	for _, id := range sub.Local {
+		for _, e := range v.out[id] {
+			check(e)
+		}
+		for _, e := range v.in[id] {
+			if !v.isLocal[e.From] { // avoid double work for local-local
+				check(e)
+			}
+		}
+	}
+	rm.Edges = dedupePairs(rm.Edges)
+	sort.Slice(rm.Nodes, func(i, j int) bool { return rm.Nodes[i] < rm.Nodes[j] })
+	return rm
+}
+
+// ErrorScan finds short dead-end paths and bubbles among local nodes
+// (paper §V.C, following Velvet's tips-and-bubbles trimming).
+func ErrorScan(sub *Subgraph, cfg Config) Removal {
+	v := newView(sub)
+	var rm Removal
+	mark := map[int32]bool{}
+
+	// Dead ends: from a local source (no in-edges) walk forward through a
+	// unique-successor/unique-predecessor chain; if it attaches to a
+	// junction within MaxTipNodes, spans < MinTipLen bases AND is the
+	// minority branch at that junction (a strictly heavier sibling edge
+	// exists), the chain is a tip. The minority condition keeps
+	// legitimate chain heads, which are also in-degree-0. Mirror for
+	// sinks.
+	walk := func(start int32, fwd bool) {
+		chain := []int32{start}
+		span := len(v.contig[start])
+		cur := start
+		for len(chain) <= cfg.MaxTipNodes {
+			var next []Edge
+			if fwd {
+				next = v.liveOut(cur)
+			} else {
+				next = v.liveIn(cur)
+			}
+			if len(next) != 1 {
+				return // branches or terminates without attachment
+			}
+			conn := next[0]
+			var nb int32
+			if fwd {
+				nb = conn.To
+			} else {
+				nb = conn.From
+			}
+			// Attachment test: the neighbour continues the main graph if
+			// it has other incoming (fwd) / outgoing (bwd) edges.
+			var back []Edge
+			if fwd {
+				back = v.liveIn(nb)
+			} else {
+				back = v.liveOut(nb)
+			}
+			if len(back) > 1 {
+				dominated := false
+				for _, e := range back {
+					if e != conn && e.Len > conn.Len {
+						dominated = true
+						break
+					}
+				}
+				if dominated && span < cfg.MinTipLen {
+					for _, id := range chain {
+						if !mark[id] {
+							mark[id] = true
+							rm.Nodes = append(rm.Nodes, id)
+						}
+					}
+				}
+				return
+			}
+			chain = append(chain, nb)
+			span += len(v.contig[nb]) // upper bound on added span
+			cur = nb
+		}
+	}
+	for _, id := range sub.Local {
+		if len(v.liveIn(id)) == 0 && len(v.liveOut(id)) == 1 {
+			walk(id, true)
+		}
+		if len(v.liveOut(id)) == 0 && len(v.liveIn(id)) == 1 {
+			walk(id, false)
+		}
+	}
+
+	// Bubbles: local v with unique predecessor u and unique successor w;
+	// if some sibling x shares exactly (u, w), the pair is a bubble and
+	// the branch with lower read weight (tie: shorter contig, then higher
+	// id) is removed. The rule is deterministic, so two partitions seeing
+	// the same bubble record the same victim.
+	loses := func(a, b int32) bool {
+		if v.weight[a] != v.weight[b] {
+			return v.weight[a] < v.weight[b]
+		}
+		if len(v.contig[a]) != len(v.contig[b]) {
+			return len(v.contig[a]) < len(v.contig[b])
+		}
+		return a > b
+	}
+	for _, id := range sub.Local {
+		ins, outs := v.liveIn(id), v.liveOut(id)
+		if len(ins) != 1 || len(outs) != 1 {
+			continue
+		}
+		u, w := ins[0].From, outs[0].To
+		for _, sib := range v.liveOut(u) {
+			x := sib.To
+			if x == id {
+				continue
+			}
+			xi, xo := v.liveIn(x), v.liveOut(x)
+			if len(xi) != 1 || len(xo) != 1 || xo[0].To != w {
+				continue
+			}
+			victim := id
+			if loses(x, id) {
+				victim = x
+			}
+			if !mark[victim] {
+				mark[victim] = true
+				rm.Nodes = append(rm.Nodes, victim)
+			}
+		}
+	}
+	sort.Slice(rm.Nodes, func(i, j int) bool { return rm.Nodes[i] < rm.Nodes[j] })
+	return rm
+}
+
+// ExtractPaths performs the partition-local maximal path extraction of
+// paper §V.D: starting from each unvisited local node, the path is grown
+// by out-edges while the next node has a unique in-edge, lies in the same
+// partition and is unvisited, then symmetrically grown by in-edges.
+func ExtractPaths(sub *Subgraph, cfg Config) [][]int32 {
+	v := newView(sub)
+	inPath := map[int32]bool{}
+	var paths [][]int32
+	for _, id := range sub.Local {
+		if inPath[id] {
+			continue
+		}
+		path := []int32{id}
+		inPath[id] = true
+		// Extend right.
+		cur := id
+		for {
+			outs := v.liveOut(cur)
+			if len(outs) != 1 {
+				break
+			}
+			nxt := outs[0].To
+			if v.part[nxt] != sub.Part || !v.isLocal[nxt] || inPath[nxt] {
+				break
+			}
+			if len(v.liveIn(nxt)) != 1 {
+				break
+			}
+			path = append(path, nxt)
+			inPath[nxt] = true
+			cur = nxt
+		}
+		// Extend left.
+		cur = id
+		for {
+			ins := v.liveIn(cur)
+			if len(ins) != 1 {
+				break
+			}
+			prv := ins[0].From
+			if v.part[prv] != sub.Part || !v.isLocal[prv] || inPath[prv] {
+				break
+			}
+			if len(v.liveOut(prv)) != 1 {
+				break
+			}
+			path = append([]int32{prv}, path...)
+			inPath[prv] = true
+			cur = prv
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}

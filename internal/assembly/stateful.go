@@ -1,0 +1,168 @@
+package assembly
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The stateless protocol reships each partition's subgraph every phase.
+// This file adds the stateful protocol, which matches the paper's MPI
+// model more closely: each worker receives its partition once (Load) and
+// subsequent phases send only the removal delta (graph mutations are
+// monotone — trimming only deletes nodes and edges — so ghosts never need
+// additions). The Driver picks the protocol via Config.Stateful; the
+// transport ablation bench compares the two.
+
+// storedPart is one partition retained on a worker between phases.
+type storedPart struct {
+	sub Subgraph
+}
+
+// state is the worker-side session table. It lives on the Service value,
+// so each worker (one Service instance per worker) has its own.
+type state struct {
+	mu    sync.Mutex
+	parts map[string]*storedPart
+}
+
+func (s *Service) ensureState() *state {
+	s.once.Do(func() {
+		s.st = &state{parts: map[string]*storedPart{}}
+	})
+	return s.st
+}
+
+func partKey(runID string, part int32) string {
+	return fmt.Sprintf("%s/%d", runID, part)
+}
+
+// LoadArgs ships a partition to be retained.
+type LoadArgs struct {
+	RunID string
+	Sub   Subgraph
+	Cfg   Config
+}
+
+// LoadReply acknowledges a Load.
+type LoadReply struct{ Nodes, Edges int }
+
+// Load stores a partition (and the trimming config) for later
+// delta-driven phases.
+func (s *Service) Load(args *LoadArgs, reply *LoadReply) error {
+	st := s.ensureState()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.parts[partKey(args.RunID, args.Sub.Part)] = &storedPart{sub: args.Sub}
+	reply.Nodes = len(args.Sub.Nodes)
+	reply.Edges = len(args.Sub.Edges)
+	return nil
+}
+
+// Delta is the set of removals applied to the global graph since the
+// worker last saw its partition.
+type Delta struct {
+	RemovedNodes []int32
+	RemovedEdges []EdgePair
+}
+
+// PhaseArgsStateful drives one phase against a stored partition.
+type PhaseArgsStateful struct {
+	RunID string
+	Part  int32
+	Phase string // "Transitive" | "Containment" | "Errors" | "Paths" | "Variants"
+	Delta Delta
+	Cfg   Config
+	VCfg  VariantConfig
+}
+
+// PhaseReplyStateful carries whichever result the phase produces.
+type PhaseReplyStateful struct {
+	Edges    []EdgePair
+	Removal  Removal
+	Paths    [][]int32
+	Variants []Variant
+}
+
+// applyDelta removes nodes/edges from a stored subgraph in place.
+func applyDelta(sub *Subgraph, d Delta) {
+	if len(d.RemovedNodes) == 0 && len(d.RemovedEdges) == 0 {
+		return
+	}
+	dead := make(map[int32]bool, len(d.RemovedNodes))
+	for _, v := range d.RemovedNodes {
+		dead[v] = true
+	}
+	deadEdge := make(map[EdgePair]bool, len(d.RemovedEdges))
+	for _, e := range d.RemovedEdges {
+		deadEdge[e] = true
+	}
+	nodes := sub.Nodes[:0]
+	for _, n := range sub.Nodes {
+		if !dead[n.ID] {
+			nodes = append(nodes, n)
+		}
+	}
+	sub.Nodes = nodes
+	local := sub.Local[:0]
+	for _, id := range sub.Local {
+		if !dead[id] {
+			local = append(local, id)
+		}
+	}
+	sub.Local = local
+	edges := sub.Edges[:0]
+	for _, e := range sub.Edges {
+		if dead[e.From] || dead[e.To] || deadEdge[EdgePair{From: e.From, To: e.To}] {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	sub.Edges = edges
+}
+
+// Phase applies the delta to the stored partition and runs the requested
+// phase on it.
+func (s *Service) Phase(args *PhaseArgsStateful, reply *PhaseReplyStateful) error {
+	st := s.ensureState()
+	st.mu.Lock()
+	p, ok := st.parts[partKey(args.RunID, args.Part)]
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("assembly: partition %d of run %q not loaded", args.Part, args.RunID)
+	}
+	applyDelta(&p.sub, args.Delta)
+	switch args.Phase {
+	case "Transitive":
+		reply.Edges = TransitiveEdges(&p.sub, args.Cfg)
+	case "Containment":
+		reply.Removal = ContainmentScan(&p.sub, args.Cfg)
+	case "Errors":
+		reply.Removal = ErrorScan(&p.sub, args.Cfg)
+	case "Paths":
+		reply.Paths = ExtractPaths(&p.sub, args.Cfg)
+	case "Variants":
+		reply.Variants = ScanVariants(&p.sub, args.VCfg)
+	default:
+		return fmt.Errorf("assembly: unknown phase %q", args.Phase)
+	}
+	return nil
+}
+
+// UnloadArgs releases a run's partitions on a worker.
+type UnloadArgs struct{ RunID string }
+
+// Unload drops every stored partition of a run (call when the master is
+// done, to free worker memory).
+func (s *Service) Unload(args *UnloadArgs, reply *bool) error {
+	st := s.ensureState()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	prefix := args.RunID + "/"
+	for k := range st.parts {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			delete(st.parts, k)
+		}
+	}
+	*reply = true
+	return nil
+}

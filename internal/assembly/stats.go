@@ -1,0 +1,44 @@
+package assembly
+
+import "sort"
+
+// Stats are the standard assembly quality numbers the paper reports in
+// Table III.
+type Stats struct {
+	NumContigs int
+	TotalBases int
+	MaxContig  int
+	N50        int
+	MeanLen    float64
+}
+
+// ComputeStats summarizes a contig set. N50 is the length of the shortest
+// contig in the smallest set of longest contigs covering half of the total
+// assembled bases.
+func ComputeStats(contigs [][]byte) Stats {
+	st := Stats{NumContigs: len(contigs)}
+	if len(contigs) == 0 {
+		return st
+	}
+	lens := make([]int, len(contigs))
+	for i, c := range contigs {
+		lens[i] = len(c)
+		st.TotalBases += len(c)
+		if len(c) > st.MaxContig {
+			st.MaxContig = len(c)
+		}
+	}
+	st.MeanLen = float64(st.TotalBases) / float64(len(contigs))
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	cum := 0
+	for _, l := range lens {
+		cum += l
+		// 2*cum >= total avoids the integer-division rounding error of
+		// "cum >= total/2" on odd totals.
+		if 2*cum >= st.TotalBases {
+			st.N50 = l
+			break
+		}
+	}
+	return st
+}

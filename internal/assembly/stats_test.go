@@ -1,0 +1,85 @@
+package assembly
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteN50 is an independent N50 definition for cross-checking.
+func bruteN50(lens []int) int {
+	sorted := append([]int(nil), lens...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	total := 0
+	for _, l := range sorted {
+		total += l
+	}
+	cum := 0
+	for _, l := range sorted {
+		cum += l
+		if 2*cum >= total {
+			return l
+		}
+	}
+	return 0
+}
+
+func TestComputeStatsQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var contigs [][]byte
+		var lens []int
+		for _, r := range raw {
+			n := int(r)%2000 + 1
+			contigs = append(contigs, bytes.Repeat([]byte("A"), n))
+			lens = append(lens, n)
+		}
+		st := ComputeStats(contigs)
+		if st.N50 != bruteN50(lens) {
+			return false
+		}
+		// N50 is between min and max contig length.
+		mn, mx := lens[0], lens[0]
+		total := 0
+		for _, l := range lens {
+			if l < mn {
+				mn = l
+			}
+			if l > mx {
+				mx = l
+			}
+			total += l
+		}
+		return st.N50 >= mn && st.N50 <= mx && st.MaxContig == mx && st.TotalBases == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestN50SingleContig(t *testing.T) {
+	st := ComputeStats([][]byte{bytes.Repeat([]byte("C"), 777)})
+	if st.N50 != 777 || st.MaxContig != 777 || st.NumContigs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestN50OddTotalRounding(t *testing.T) {
+	// Lengths 3,2,2 (total 7): contigs >= 3 cover 3 < 3.5, so N50 = 2.
+	mk := func(n int) []byte { return bytes.Repeat([]byte("A"), n) }
+	st := ComputeStats([][]byte{mk(3), mk(2), mk(2)})
+	if st.N50 != 2 {
+		t.Errorf("N50 = %d, want 2", st.N50)
+	}
+}
+
+func TestN50HalfwayTie(t *testing.T) {
+	// Two equal contigs: cumulative reaches exactly half at the first.
+	st := ComputeStats([][]byte{bytes.Repeat([]byte("A"), 100), bytes.Repeat([]byte("A"), 100)})
+	if st.N50 != 100 {
+		t.Errorf("N50 = %d", st.N50)
+	}
+}

@@ -1,0 +1,239 @@
+package assembly
+
+import (
+	"sort"
+
+	"focus/internal/align"
+)
+
+// The paper's stated future work (§VI.D) is variant detection run on the
+// distributed hybrid graph: "For example, variant detection algorithms
+// can be implemented to be run on the distributed hybrid graph." This
+// file implements that extension. A candidate variant is a simple bubble:
+// two branch nodes sharing the same predecessor and successor whose
+// contigs align against each other. Unlike error removal (§V.C), which
+// pops bubbles, variant calling reports them — substitution-like when the
+// branch contigs have similar length and high identity, indel-like when
+// their lengths differ.
+
+// VariantKind classifies a called variant.
+type VariantKind uint8
+
+const (
+	// VariantSubstitution: equal-length, high-identity branches (SNVs).
+	VariantSubstitution VariantKind = iota
+	// VariantIndel: branch lengths differ materially.
+	VariantIndel
+	// VariantDivergent: branches do not align (e.g. inserted segment).
+	VariantDivergent
+)
+
+// String implements fmt.Stringer.
+func (k VariantKind) String() string {
+	switch k {
+	case VariantSubstitution:
+		return "substitution"
+	case VariantIndel:
+		return "indel"
+	case VariantDivergent:
+		return "divergent"
+	}
+	return "unknown"
+}
+
+// Variant is one called bubble or fork.
+type Variant struct {
+	From, To         int32 // anchor nodes; To is -1 for fork calls
+	AlleleA, AlleleB int32 // branch nodes, AlleleA < AlleleB
+	CovA, CovB       int64 // read support of each branch
+	LenA, LenB       int32 // branch contig lengths
+	Identity         float64
+	Mismatches       int32 // mismatching alignment columns (when aligned)
+	Kind             VariantKind
+	// Reconverges is true for full bubbles (both anchors shared); fork
+	// calls — two alternative extensions of one anchor whose contigs
+	// still align allelically — are weaker evidence.
+	Reconverges bool
+}
+
+// VariantConfig bounds variant calling.
+type VariantConfig struct {
+	// MinBranchCov is the minimum read support per branch: bubbles whose
+	// weaker branch has less support are sequencing errors, not variants.
+	MinBranchCov int64
+	// MaxLenDiff separates substitutions from indels.
+	MaxLenDiff int
+	// Band is the alignment band for branch-vs-branch comparison.
+	Band int
+	// MinIdentity below which branches are reported as divergent.
+	MinIdentity float64
+}
+
+// DefaultVariantConfig returns permissive defaults for high-coverage data.
+func DefaultVariantConfig() VariantConfig {
+	return VariantConfig{MinBranchCov: 2, MaxLenDiff: 3, Band: 16, MinIdentity: 0.6}
+}
+
+// ScanVariants finds bubble and fork variants among the partition's local
+// nodes (the worker half of distributed variant calling). A bubble is two
+// branches sharing both anchors; a fork is two alternative branches of a
+// single anchor whose contigs still align allelically on their implied
+// placement (a repeat boundary, by contrast, has unrelated continuations
+// and is rejected by the identity filter).
+func ScanVariants(sub *Subgraph, cfg VariantConfig) []Variant {
+	v := newView(sub)
+	seen := map[[2]int32]bool{}
+	var out []Variant
+
+	consider := func(u int32, ex, ey Edge, x, y int32, reconverges bool, w int32) {
+		a, b := x, y
+		ea, eb := ex, ey
+		if a > b {
+			a, b = b, a
+			ea, eb = eb, ea
+		}
+		if seen[[2]int32{a, b}] {
+			return
+		}
+		if v.weight[a] < cfg.MinBranchCov || v.weight[b] < cfg.MinBranchCov {
+			return // error branch, not a variant
+		}
+		va, ok := classifyBranches(v, u, w, a, b, ea, eb, reconverges, cfg)
+		if !ok {
+			return
+		}
+		seen[[2]int32{a, b}] = true
+		out = append(out, va)
+	}
+
+	for _, id := range sub.Local {
+		ins, outs := v.liveIn(id), v.liveOut(id)
+		if len(ins) != 1 || len(outs) > 1 {
+			continue
+		}
+		u := ins[0].From
+		// The edge u->id and each sibling edge u->x.
+		var eID Edge
+		for _, e := range v.liveOut(u) {
+			if e.To == id {
+				eID = e
+				break
+			}
+		}
+		for _, sib := range v.liveOut(u) {
+			x := sib.To
+			if x == id {
+				continue
+			}
+			xi := v.liveIn(x)
+			if len(xi) != 1 {
+				continue
+			}
+			// Full bubble if both branches reconverge on the same node.
+			xo := v.liveOut(x)
+			if len(outs) == 1 && len(xo) == 1 && xo[0].To == outs[0].To {
+				consider(u, eID, sib, id, x, true, outs[0].To)
+				continue
+			}
+			consider(u, eID, sib, id, x, false, -1)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AlleleA != out[j].AlleleA {
+			return out[i].AlleleA < out[j].AlleleA
+		}
+		return out[i].AlleleB < out[j].AlleleB
+	})
+	return out
+}
+
+// classifyBranches aligns two branch contigs on the placement implied by
+// their shared-anchor edges and classifies the pair. ok is false when the
+// pair does not look allelic (fork into unrelated sequence).
+func classifyBranches(v *view, u, w, a, b int32, ea, eb Edge, reconverges bool, cfg VariantConfig) (Variant, bool) {
+	ca, cb := v.contig[a], v.contig[b]
+	out := Variant{
+		From: u, To: w,
+		AlleleA: a, AlleleB: b,
+		CovA: v.weight[a], CovB: v.weight[b],
+		LenA: int32(len(ca)), LenB: int32(len(cb)),
+		Reconverges: reconverges,
+	}
+	// Placement of b's contig in a's coordinates: both diags are relative
+	// to u's contig.
+	diag := int(eb.Diag) - int(ea.Diag)
+	acfg := align.Config{
+		MinLength:   1,
+		MinIdentity: 0,
+		Band:        cfg.Band,
+		Scoring:     align.DefaultScoring,
+	}
+	ov, okOv := align.OverlapOnDiagonal(ca, cb, diag, acfg)
+	if okOv {
+		out.Identity = ov.Identity
+		out.Mismatches = int32(ov.Length) - int32(float64(ov.Length)*ov.Identity+0.5)
+	}
+	lenDiff := len(ca) - len(cb)
+	if lenDiff < 0 {
+		lenDiff = -lenDiff
+	}
+	switch {
+	case !okOv || out.Identity < cfg.MinIdentity:
+		out.Kind = VariantDivergent
+		if !reconverges {
+			// Fork into unrelated sequence: a repeat or chimera
+			// boundary, not a variant.
+			return out, false
+		}
+	case lenDiff > cfg.MaxLenDiff:
+		out.Kind = VariantIndel
+	default:
+		out.Kind = VariantSubstitution
+	}
+	return out, true
+}
+
+// VariantsReply is the RPC reply for the variant phase.
+type VariantsReply struct{ Variants []Variant }
+
+// VariantArgs carries the subgraph and variant config over RPC.
+type VariantArgs struct {
+	Sub Subgraph
+	Cfg VariantConfig
+}
+
+// Variants is the worker RPC method for distributed variant calling.
+func (s *Service) Variants(args *VariantArgs, reply *VariantsReply) error {
+	reply.Variants = ScanVariants(&args.Sub, args.Cfg)
+	return nil
+}
+
+// CallVariants runs distributed variant detection: each worker scans its
+// partition, the master deduplicates (a bubble whose branches live in
+// different partitions is reported by both) and returns the calls sorted
+// by allele pair. Run it after transitive reduction and containment
+// removal but before error removal, which would pop the bubbles.
+func (d *Driver) CallVariants(cfg VariantConfig) ([]Variant, error) {
+	results, _, err := d.runPhase("Variants", cfg)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[[2]int32]bool{}
+	var out []Variant
+	for _, r := range results {
+		for _, va := range r.Variants {
+			key := [2]int32{va.AlleleA, va.AlleleB}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, va)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AlleleA != out[j].AlleleA {
+			return out[i].AlleleA < out[j].AlleleA
+		}
+		return out[i].AlleleB < out[j].AlleleB
+	})
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package assembly
+
+import (
+	"bytes"
+	"testing"
+
+	"focus/internal/dist"
+)
+
+// bubbleSub builds: 0 -> {1, 4} -> 2 -> 3, where 1 and 4 are the bubble
+// branches with the given contigs and weights.
+func bubbleSub(branchA, branchB []byte, wA, wB int64) *Subgraph {
+	sub := chainSub(4)
+	sub.Nodes[1].Contig = branchA
+	sub.Nodes[1].Weight = wA
+	sub.Local = append(sub.Local, 4)
+	sub.Nodes = append(sub.Nodes, WireNode{ID: 4, Part: 0, Weight: wB, Contig: branchB})
+	sub.Edges = append(sub.Edges,
+		Edge{From: 0, To: 4, Diag: 60, Len: 40, Ident: 1},
+		Edge{From: 4, To: 2, Diag: 60, Len: 40, Ident: 1},
+	)
+	return sub
+}
+
+func TestScanVariantsSubstitution(t *testing.T) {
+	a := bytes.Repeat([]byte("ACGT"), 25)
+	b := append([]byte(nil), a...)
+	b[50] = 'T' // one substitution
+	vars := ScanVariants(bubbleSub(a, b, 6, 5), DefaultVariantConfig())
+	if len(vars) != 1 {
+		t.Fatalf("variants = %+v", vars)
+	}
+	va := vars[0]
+	if va.Kind != VariantSubstitution {
+		t.Errorf("kind = %v", va.Kind)
+	}
+	if va.AlleleA != 1 || va.AlleleB != 4 {
+		t.Errorf("alleles = %d,%d", va.AlleleA, va.AlleleB)
+	}
+	if va.Mismatches != 1 {
+		t.Errorf("mismatches = %d", va.Mismatches)
+	}
+	if va.From != 0 || va.To != 2 {
+		t.Errorf("anchors = %d,%d", va.From, va.To)
+	}
+	if va.CovA != 6 || va.CovB != 5 {
+		t.Errorf("coverage = %d,%d", va.CovA, va.CovB)
+	}
+}
+
+func TestScanVariantsIndel(t *testing.T) {
+	a := bytes.Repeat([]byte("ACGT"), 25)
+	b := append(append([]byte(nil), a[:50]...), a[60:]...) // 10 bp deletion
+	vars := ScanVariants(bubbleSub(a, b, 4, 4), DefaultVariantConfig())
+	if len(vars) != 1 || vars[0].Kind != VariantIndel {
+		t.Fatalf("variants = %+v", vars)
+	}
+}
+
+func TestScanVariantsDivergent(t *testing.T) {
+	a := bytes.Repeat([]byte("AC"), 50)
+	b := bytes.Repeat([]byte("GT"), 50)
+	vars := ScanVariants(bubbleSub(a, b, 4, 4), DefaultVariantConfig())
+	if len(vars) != 1 || vars[0].Kind != VariantDivergent {
+		t.Fatalf("variants = %+v", vars)
+	}
+}
+
+func TestScanVariantsFiltersLowCoverage(t *testing.T) {
+	a := bytes.Repeat([]byte("ACGT"), 25)
+	b := append([]byte(nil), a...)
+	b[10] = 'A'
+	cfg := DefaultVariantConfig()
+	cfg.MinBranchCov = 3
+	vars := ScanVariants(bubbleSub(a, b, 6, 1), cfg)
+	if len(vars) != 0 {
+		t.Fatalf("error bubble reported as variant: %+v", vars)
+	}
+}
+
+func TestScanVariantsNoBubbleNoCalls(t *testing.T) {
+	if vars := ScanVariants(chainSub(5), DefaultVariantConfig()); len(vars) != 0 {
+		t.Fatalf("variants on a chain: %+v", vars)
+	}
+}
+
+func TestVariantKindString(t *testing.T) {
+	for k, want := range map[VariantKind]string{
+		VariantSubstitution: "substitution",
+		VariantIndel:        "indel",
+		VariantDivergent:    "divergent",
+		VariantKind(9):      "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// TestCallVariantsDistributed runs the RPC path with the bubble branches
+// assigned to different partitions: both workers see it, the master must
+// deduplicate to a single call.
+func TestCallVariantsDistributed(t *testing.T) {
+	a := bytes.Repeat([]byte("ACGT"), 25)
+	bseq := append([]byte(nil), a...)
+	bseq[40] = 'G'
+
+	dg := &DiGraph{
+		Contigs: [][]byte{bytes.Repeat([]byte("A"), 100), a, bytes.Repeat([]byte("C"), 100), bytes.Repeat([]byte("G"), 100), bseq},
+		Weight:  []int64{8, 5, 8, 8, 4},
+		Removed: make([]bool, 5),
+		Out:     make([][]Edge, 5),
+		In:      make([][]Edge, 5),
+	}
+	add := func(f, to int32) {
+		e := Edge{From: f, To: to, Diag: 60, Len: 40, Ident: 1}
+		dg.Out[f] = append(dg.Out[f], e)
+		dg.In[to] = append(dg.In[to], e)
+	}
+	add(0, 1)
+	add(0, 4)
+	add(1, 2)
+	add(4, 2)
+	add(2, 3)
+
+	pool, err := dist.NewLocalPool(2, NewService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	// Branches 1 and 4 in different partitions.
+	d, err := NewDriver(pool, dg, []int32{0, 0, 1, 1, 1}, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, err := d.CallVariants(DefaultVariantConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 1 {
+		t.Fatalf("variants = %+v, want exactly 1 after dedup", vars)
+	}
+	if vars[0].Kind != VariantSubstitution || vars[0].Mismatches != 1 {
+		t.Errorf("variant = %+v", vars[0])
+	}
+}

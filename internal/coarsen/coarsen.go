@@ -1,0 +1,174 @@
+// Package coarsen implements graph coarsening by heavy-edge matching and
+// node merging (Karypis & Kumar, the paper's reference [15]), producing
+// the multilevel graph set G = {G0, G1, …, Gn} of paper §II.C: each level
+// is formed by finding a matching on the previous level and merging the
+// endpoints of every matched edge.
+package coarsen
+
+import (
+	"math/rand"
+
+	"focus/internal/graph"
+)
+
+// Options control when coarsening stops.
+type Options struct {
+	// MaxLevels caps the number of coarsening rounds (the paper's data
+	// sets produced ten graph levels; 10 is the default).
+	MaxLevels int
+	// MinNodes stops coarsening once the coarsest graph is at most this
+	// large.
+	MinNodes int
+	// MinShrink stops coarsening when a round shrinks the node count by
+	// less than this factor (e.g. 0.05 requires each round to remove at
+	// least 5% of nodes).
+	MinShrink float64
+	// Seed drives the random visit order of heavy-edge matching.
+	Seed int64
+}
+
+// DefaultOptions mirror the paper's setup.
+func DefaultOptions() Options {
+	return Options{MaxLevels: 10, MinNodes: 32, MinShrink: 0.05, Seed: 1}
+}
+
+// HeavyEdgeMatching computes a matching on g: nodes are visited in random
+// order and each unmatched node is matched to its unmatched neighbour with
+// the heaviest connecting edge (ties to the smaller id). match[v] is v's
+// partner, or -1 if v is unmatched.
+func HeavyEdgeMatching(g *graph.Graph, rng *rand.Rand) []int {
+	n := g.NumNodes()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		best := -1
+		var bestW int64
+		for _, a := range g.Adj(v) {
+			if match[a.To] != -1 {
+				continue
+			}
+			if a.W > bestW || (a.W == bestW && best != -1 && a.To < best) {
+				best, bestW = a.To, a.W
+			}
+		}
+		if best != -1 {
+			match[v] = best
+			match[best] = v
+		}
+	}
+	return match
+}
+
+// Contract merges matched node pairs into single nodes, producing the next
+// coarser graph and the up-map (up[v] = v's node in the coarse graph).
+// Merged node weights are summed; parallel edges are combined by summing;
+// edges internal to a merged pair disappear.
+func Contract(g *graph.Graph, match []int) (*graph.Graph, []int) {
+	n := g.NumNodes()
+	up := make([]int, n)
+	for i := range up {
+		up[i] = -1
+	}
+	next := 0
+	for v := 0; v < n; v++ {
+		if up[v] != -1 {
+			continue
+		}
+		up[v] = next
+		if m := match[v]; m != -1 {
+			up[m] = next
+		}
+		next++
+	}
+	b := graph.NewBuilder(next)
+	weights := make([]int64, next)
+	for v := 0; v < n; v++ {
+		weights[up[v]] += g.NodeWeight(v)
+	}
+	for c, w := range weights {
+		b.SetNodeWeight(c, w)
+	}
+	for v := 0; v < n; v++ {
+		for _, a := range g.Adj(v) {
+			if a.To <= v {
+				continue // each undirected edge once
+			}
+			if up[v] == up[a.To] {
+				continue // internal to a merged pair
+			}
+			// Builder merges parallel edges by summation.
+			_ = b.AddEdge(up[v], up[a.To], a.W)
+		}
+	}
+	return b.Build(), up
+}
+
+// Multilevel coarsens g0 into a multilevel graph set. Levels[0] is g0.
+func Multilevel(g0 *graph.Graph, opt Options) *graph.Set {
+	if opt.MaxLevels <= 0 {
+		opt.MaxLevels = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	set := &graph.Set{Levels: []*graph.Graph{g0}}
+	cur := g0
+	for level := 1; level < opt.MaxLevels; level++ {
+		if cur.NumNodes() <= opt.MinNodes {
+			break
+		}
+		match := HeavyEdgeMatching(cur, rng)
+		coarse, up := Contract(cur, match)
+		shrink := 1 - float64(coarse.NumNodes())/float64(cur.NumNodes())
+		if shrink < opt.MinShrink {
+			break
+		}
+		set.Levels = append(set.Levels, coarse)
+		set.Up = append(set.Up, up)
+		cur = coarse
+	}
+	return set
+}
+
+// Clusters returns, for each node of the coarsest level reachable through
+// the set, the list of level-0 nodes it represents.
+func Clusters(set *graph.Set) [][]int {
+	n0 := set.Levels[0].NumNodes()
+	assign := make([]int, n0)
+	for v := range assign {
+		assign[v] = v
+	}
+	for _, up := range set.Up {
+		for v := range assign {
+			assign[v] = up[assign[v]]
+		}
+	}
+	out := make([][]int, set.Coarsest().NumNodes())
+	for v, c := range assign {
+		out[c] = append(out[c], v)
+	}
+	return out
+}
+
+// ClustersAt returns the level-0 cluster of every node at the given level.
+func ClustersAt(set *graph.Set, level int) [][]int {
+	n0 := set.Levels[0].NumNodes()
+	assign := make([]int, n0)
+	for v := range assign {
+		assign[v] = v
+	}
+	for i := 0; i < level; i++ {
+		for v := range assign {
+			assign[v] = set.Up[i][assign[v]]
+		}
+	}
+	out := make([][]int, set.Levels[level].NumNodes())
+	for v, c := range assign {
+		out[c] = append(out[c], v)
+	}
+	return out
+}

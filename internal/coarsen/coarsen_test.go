@@ -1,0 +1,251 @@
+package coarsen
+
+import (
+	"math/rand"
+	"testing"
+
+	"focus/internal/graph"
+)
+
+// pathGraph returns a path 0-1-2-…-n-1 with the given edge weights.
+func pathGraph(weights []int64) *graph.Graph {
+	b := graph.NewBuilder(len(weights) + 1)
+	for i, w := range weights {
+		_ = b.AddEdge(i, i+1, w)
+	}
+	return b.Build()
+}
+
+func randomGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		_ = b.AddEdge(rng.Intn(n), rng.Intn(n), int64(1+rng.Intn(100)))
+	}
+	return b.Build()
+}
+
+func checkMatching(t *testing.T, g *graph.Graph, match []int) {
+	t.Helper()
+	for v, m := range match {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= g.NumNodes() {
+			t.Fatalf("match[%d] = %d out of range", v, m)
+		}
+		if match[m] != v {
+			t.Fatalf("matching not symmetric: match[%d]=%d, match[%d]=%d", v, m, m, match[m])
+		}
+		if m == v {
+			t.Fatalf("node %d matched to itself", v)
+		}
+		if g.EdgeWeight(v, m) == 0 {
+			t.Fatalf("matched pair %d-%d not adjacent", v, m)
+		}
+	}
+}
+
+func TestHeavyEdgeMatchingValid(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(seed, 60, 200)
+		match := HeavyEdgeMatching(g, rand.New(rand.NewSource(seed)))
+		checkMatching(t, g, match)
+	}
+}
+
+func TestHeavyEdgeMatchingPrefersHeavy(t *testing.T) {
+	// Star: center 0 with edges to 1 (w=1), 2 (w=100), 3 (w=5).
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(0, 2, 100)
+	_ = b.AddEdge(0, 3, 5)
+	g := b.Build()
+	// When the center (0) or the heavy leaf (2) is visited first — about
+	// half of random orders — the heavy edge 0-2 must be chosen. When a
+	// light leaf is visited first it claims the center; 2 must then stay
+	// unmatched (0 is its only neighbour).
+	matched02 := 0
+	for seed := int64(0); seed < 20; seed++ {
+		match := HeavyEdgeMatching(g, rand.New(rand.NewSource(seed)))
+		checkMatching(t, g, match)
+		if match[0] == 2 {
+			matched02++
+		} else if match[2] != -1 {
+			t.Fatalf("seed %d: node 2 matched to %d", seed, match[2])
+		}
+	}
+	if matched02 < 5 {
+		t.Errorf("0-2 matched only %d/20 times, expected about half", matched02)
+	}
+}
+
+func TestContractPath(t *testing.T) {
+	g := pathGraph([]int64{10, 1, 10, 1, 10}) // 6 nodes
+	// Force matching 0-1, 2-3, 4-5 (the heavy edges).
+	match := []int{1, 0, 3, 2, 5, 4}
+	coarse, up := Contract(g, match)
+	if coarse.NumNodes() != 3 {
+		t.Fatalf("coarse nodes = %d", coarse.NumNodes())
+	}
+	// Weights: every merged node = 2.
+	for v := 0; v < 3; v++ {
+		if coarse.NodeWeight(v) != 2 {
+			t.Errorf("node %d weight = %d", v, coarse.NodeWeight(v))
+		}
+	}
+	// Surviving edges are the two light ones.
+	if coarse.NumEdges() != 2 || coarse.TotalEdgeWeight() != 2 {
+		t.Errorf("edges=%d weight=%d", coarse.NumEdges(), coarse.TotalEdgeWeight())
+	}
+	for v, p := range up {
+		if p != v/2 {
+			t.Errorf("up[%d] = %d", v, p)
+		}
+	}
+}
+
+func TestContractSumsParallelEdges(t *testing.T) {
+	// Square 0-1-2-3-0; match 0-1 and 2-3; the two cross edges (1-2, 3-0)
+	// become parallel and must merge with summed weight.
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 9)
+	_ = b.AddEdge(1, 2, 3)
+	_ = b.AddEdge(2, 3, 9)
+	_ = b.AddEdge(3, 0, 4)
+	g := b.Build()
+	coarse, _ := Contract(g, []int{1, 0, 3, 2})
+	if coarse.NumNodes() != 2 || coarse.NumEdges() != 1 {
+		t.Fatalf("coarse: %d nodes %d edges", coarse.NumNodes(), coarse.NumEdges())
+	}
+	if coarse.EdgeWeight(0, 1) != 7 {
+		t.Errorf("merged weight = %d, want 7", coarse.EdgeWeight(0, 1))
+	}
+}
+
+func TestContractPreservesTotals(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(seed+100, 80, 300)
+		rng := rand.New(rand.NewSource(seed))
+		match := HeavyEdgeMatching(g, rng)
+		coarse, up := Contract(g, match)
+		if coarse.TotalNodeWeight() != g.TotalNodeWeight() {
+			t.Fatalf("node weight changed: %d -> %d", g.TotalNodeWeight(), coarse.TotalNodeWeight())
+		}
+		// Edge weight decreases exactly by the weight of matched edges.
+		var matchedW int64
+		for v, m := range match {
+			if m > v {
+				matchedW += g.EdgeWeight(v, m)
+			}
+		}
+		if coarse.TotalEdgeWeight() != g.TotalEdgeWeight()-matchedW {
+			t.Fatalf("edge weight %d, want %d", coarse.TotalEdgeWeight(), g.TotalEdgeWeight()-matchedW)
+		}
+		for v, p := range up {
+			if p < 0 || p >= coarse.NumNodes() {
+				t.Fatalf("up[%d] = %d", v, p)
+			}
+		}
+	}
+}
+
+func TestMultilevelStructure(t *testing.T) {
+	g := randomGraph(7, 500, 3000)
+	set := Multilevel(g, DefaultOptions())
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Levels) < 3 {
+		t.Fatalf("only %d levels", len(set.Levels))
+	}
+	for i := 1; i < len(set.Levels); i++ {
+		if set.Levels[i].NumNodes() >= set.Levels[i-1].NumNodes() {
+			t.Errorf("level %d did not shrink: %d >= %d", i, set.Levels[i].NumNodes(), set.Levels[i-1].NumNodes())
+		}
+		if set.Levels[i].TotalNodeWeight() != g.TotalNodeWeight() {
+			t.Errorf("level %d node weight %d", i, set.Levels[i].TotalNodeWeight())
+		}
+	}
+	if len(set.Levels) > 10 {
+		t.Errorf("MaxLevels exceeded: %d", len(set.Levels))
+	}
+}
+
+func TestMultilevelStopsAtMinNodes(t *testing.T) {
+	g := randomGraph(8, 200, 800)
+	opt := DefaultOptions()
+	opt.MinNodes = 100
+	opt.MaxLevels = 50
+	set := Multilevel(g, opt)
+	// The last level may dip below MinNodes, but the one before must not.
+	if len(set.Levels) >= 2 {
+		prev := set.Levels[len(set.Levels)-2]
+		if prev.NumNodes() <= opt.MinNodes {
+			t.Errorf("coarsened past MinNodes: %d", prev.NumNodes())
+		}
+	}
+}
+
+func TestMultilevelSingleLevelForTinyGraph(t *testing.T) {
+	g := pathGraph([]int64{1})
+	set := Multilevel(g, DefaultOptions())
+	if len(set.Levels) != 1 {
+		t.Errorf("levels = %d, want 1", len(set.Levels))
+	}
+}
+
+func TestClusters(t *testing.T) {
+	g := randomGraph(9, 120, 500)
+	set := Multilevel(g, DefaultOptions())
+	clusters := Clusters(set)
+	if len(clusters) != set.Coarsest().NumNodes() {
+		t.Fatalf("%d clusters for %d coarse nodes", len(clusters), set.Coarsest().NumNodes())
+	}
+	seen := make([]bool, g.NumNodes())
+	for c, members := range clusters {
+		if len(members) == 0 {
+			t.Fatalf("cluster %d empty", c)
+		}
+		var w int64
+		for _, v := range members {
+			if seen[v] {
+				t.Fatalf("node %d in two clusters", v)
+			}
+			seen[v] = true
+			w += g.NodeWeight(v)
+		}
+		if w != set.Coarsest().NodeWeight(c) {
+			t.Errorf("cluster %d weight %d != coarse node weight %d", c, w, set.Coarsest().NodeWeight(c))
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("node %d in no cluster", v)
+		}
+	}
+}
+
+func TestClustersAt(t *testing.T) {
+	g := randomGraph(10, 100, 400)
+	set := Multilevel(g, DefaultOptions())
+	for level := 0; level < len(set.Levels); level++ {
+		clusters := ClustersAt(set, level)
+		if len(clusters) != set.Levels[level].NumNodes() {
+			t.Fatalf("level %d: %d clusters", level, len(clusters))
+		}
+		total := 0
+		for _, m := range clusters {
+			total += len(m)
+		}
+		if total != g.NumNodes() {
+			t.Fatalf("level %d: clusters cover %d nodes", level, total)
+		}
+	}
+	// Level 0 clusters are singletons.
+	for v, m := range ClustersAt(set, 0) {
+		if len(m) != 1 || m[0] != v {
+			t.Fatalf("level-0 cluster %d = %v", v, m)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package dist is the distribution substrate standing in for MPI (the
+// paper ran on an MPI cluster; see DESIGN.md §2 for the substitution
+// rationale). It provides a master/worker pool over net/rpc with two
+// transports: in-process workers connected by net.Pipe (same serialization
+// path, no sockets) and TCP workers for multi-process runs
+// (cmd/focus-worker). The distributed assembly algorithms of paper §V run
+// their per-partition work on these workers.
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// ServiceName is the RPC service name workers register.
+const ServiceName = "FocusWorker"
+
+// Pool is a set of connected workers addressed by index.
+type Pool struct {
+	clients []*rpc.Client
+	closers []io.Closer
+}
+
+// NewLocalPool starts n in-process workers, each hosting its own service
+// instance created by newService, connected through net.Pipe. RPC
+// round-trips go through real gob encoding, exercising the same paths a
+// TCP deployment does.
+func NewLocalPool(n int, newService func() interface{}) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: pool size %d", n)
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		srv := rpc.NewServer()
+		if err := srv.RegisterName(ServiceName, newService()); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("dist: register: %w", err)
+		}
+		cliConn, srvConn := net.Pipe()
+		go srv.ServeConn(srvConn)
+		client := rpc.NewClient(cliConn)
+		p.clients = append(p.clients, client)
+		p.closers = append(p.closers, client)
+	}
+	return p, nil
+}
+
+// DialPool connects to already-running TCP workers.
+func DialPool(addrs []string) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: no worker addresses")
+	}
+	p := &Pool{}
+	for _, addr := range addrs {
+		client, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
+		}
+		p.clients = append(p.clients, client)
+		p.closers = append(p.closers, client)
+	}
+	return p, nil
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.clients) }
+
+// Call invokes method (without the service prefix) on worker i.
+func (p *Pool) Call(i int, method string, args, reply interface{}) error {
+	if i < 0 || i >= len(p.clients) {
+		return fmt.Errorf("dist: worker %d out of range [0,%d)", i, len(p.clients))
+	}
+	return p.clients[i].Call(ServiceName+"."+method, args, reply)
+}
+
+// Go invokes method on worker i asynchronously.
+func (p *Pool) Go(i int, method string, args, reply interface{}) *rpc.Call {
+	return p.clients[i].Go(ServiceName+"."+method, args, reply, nil)
+}
+
+// Retries is the number of additional workers a failed task is retried
+// on (failover). 0 — the default — fails fast: any task error aborts the
+// phase, as an MPI job would.
+type callOptions struct {
+	retries int
+}
+
+// ParallelCalls runs one call per task concurrently, task t on worker
+// t % Size() (round-robin partition-to-processor assignment). mkArgs and
+// replies are indexed by task. It returns the per-task durations
+// (argument construction excluded), which the harness projects onto
+// larger worker counts; the first error is returned after all calls
+// finish.
+func (p *Pool) ParallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, error) {
+	return p.parallelCalls(tasks, method, mkArgs, replies, callOptions{})
+}
+
+// ParallelCallsRetry is ParallelCalls with failover: a failed task is
+// retried on up to `retries` other workers before the error counts.
+// Stateless services (all of assembly's phases) make this safe.
+func (p *Pool) ParallelCallsRetry(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, retries int) ([]time.Duration, error) {
+	return p.parallelCalls(tasks, method, mkArgs, replies, callOptions{retries: retries})
+}
+
+func (p *Pool) parallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, opt callOptions) ([]time.Duration, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, tasks)
+	times := make([]time.Duration, tasks)
+	// One in-flight call per worker at a time, so that a pool of w
+	// workers processes at most w partitions concurrently — this is what
+	// makes runtime fall as the pool grows (Fig. 6).
+	locks := make([]sync.Mutex, p.Size())
+	for t := 0; t < tasks; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			// Argument construction happens on the master and is not
+			// part of the worker's task time.
+			args := mkArgs(t)
+			maxAttempts := 1 + opt.retries
+			if maxAttempts > p.Size() {
+				maxAttempts = p.Size()
+			}
+			for attempt := 0; attempt < maxAttempts; attempt++ {
+				w := (t + attempt) % p.Size()
+				locks[w].Lock()
+				t0 := time.Now()
+				errs[t] = p.Call(w, method, args, replies[t])
+				times[t] = time.Since(t0)
+				locks[w].Unlock()
+				if errs[t] == nil {
+					break
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return times, err
+		}
+	}
+	return times, nil
+}
+
+// Close shuts down all client connections (and, for local pools, the
+// worker goroutines with them).
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.closers = nil
+	p.clients = nil
+	return first
+}
+
+// Serve accepts RPC connections on lis and serves service until lis is
+// closed. It is the body of the focus-worker daemon.
+func Serve(lis net.Listener, service interface{}) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, service); err != nil {
+		return fmt.Errorf("dist: register: %w", err)
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}

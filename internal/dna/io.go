@@ -1,0 +1,196 @@
+package dna
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Read is a single sequencing read (or any named sequence). Qual is nil for
+// FASTA input and holds raw Phred+33 bytes, one per base, for FASTQ input.
+type Read struct {
+	ID   string
+	Seq  []byte
+	Qual []byte
+}
+
+// Clone returns a deep copy of the read.
+func (r Read) Clone() Read {
+	c := Read{ID: r.ID, Seq: append([]byte(nil), r.Seq...)}
+	if r.Qual != nil {
+		c.Qual = append([]byte(nil), r.Qual...)
+	}
+	return c
+}
+
+// Len returns the read length in bases.
+func (r Read) Len() int { return len(r.Seq) }
+
+// PhredQuality returns the quality score of base i (0 if no qualities).
+func (r Read) PhredQuality(i int) int {
+	if r.Qual == nil {
+		return 0
+	}
+	return int(r.Qual[i]) - 33
+}
+
+// foldUpper upper-cases a sequence in place and validates it.
+func foldUpper(seq []byte) error {
+	for i, b := range seq {
+		if b >= 'a' && b <= 'z' {
+			b -= 'a' - 'A'
+			seq[i] = b
+		}
+		if !ValidBase(b) {
+			return fmt.Errorf("invalid base %q at position %d", b, i)
+		}
+	}
+	return nil
+}
+
+// ReadFASTA parses FASTA records from r. Multi-line sequences are joined.
+func ReadFASTA(r io.Reader) ([]Read, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var reads []Read
+	var cur *Read
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimRight(sc.Bytes(), "\r\n \t")
+		if len(text) == 0 {
+			continue
+		}
+		if text[0] == '>' {
+			id := strings.Fields(string(text[1:]))
+			if len(id) == 0 {
+				return nil, fmt.Errorf("dna: fasta line %d: empty header", line)
+			}
+			reads = append(reads, Read{ID: id[0]})
+			cur = &reads[len(reads)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("dna: fasta line %d: sequence before header", line)
+		}
+		seq := append([]byte(nil), text...)
+		if err := foldUpper(seq); err != nil {
+			return nil, fmt.Errorf("dna: fasta line %d: %v", line, err)
+		}
+		cur.Seq = append(cur.Seq, seq...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dna: fasta: %w", err)
+	}
+	return reads, nil
+}
+
+// WriteFASTA writes reads in FASTA format, wrapping sequence lines at width
+// (or no wrapping if width <= 0).
+func WriteFASTA(w io.Writer, reads []Read, width int) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reads {
+		if _, err := fmt.Fprintf(bw, ">%s\n", r.ID); err != nil {
+			return err
+		}
+		seq := r.Seq
+		if width <= 0 {
+			width = len(seq)
+		}
+		for len(seq) > 0 {
+			n := width
+			if n > len(seq) {
+				n = len(seq)
+			}
+			if _, err := bw.Write(seq[:n]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+			seq = seq[n:]
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTQ parses FASTQ records from r. Only the strict 4-line-per-record
+// layout is supported (the layout emitted by Illumina pipelines and by this
+// package's writer).
+func ReadFASTQ(r io.Reader) ([]Read, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var reads []Read
+	line := 0
+	next := func() ([]byte, bool) {
+		for sc.Scan() {
+			line++
+			t := bytes.TrimRight(sc.Bytes(), "\r\n")
+			return t, true
+		}
+		return nil, false
+	}
+	for {
+		hdr, ok := next()
+		if !ok {
+			break
+		}
+		if len(hdr) == 0 {
+			continue
+		}
+		if hdr[0] != '@' {
+			return nil, fmt.Errorf("dna: fastq line %d: expected '@', got %q", line, hdr[0])
+		}
+		id := strings.Fields(string(hdr[1:]))
+		if len(id) == 0 {
+			return nil, fmt.Errorf("dna: fastq line %d: empty header", line)
+		}
+		seq, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing sequence)", line)
+		}
+		seqCopy := append([]byte(nil), seq...)
+		if err := foldUpper(seqCopy); err != nil {
+			return nil, fmt.Errorf("dna: fastq line %d: %v", line, err)
+		}
+		plus, ok := next()
+		if !ok || len(plus) == 0 || plus[0] != '+' {
+			return nil, fmt.Errorf("dna: fastq line %d: expected '+' separator", line)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing quality)", line)
+		}
+		if len(qual) != len(seqCopy) {
+			return nil, fmt.Errorf("dna: fastq line %d: quality length %d != sequence length %d", line, len(qual), len(seqCopy))
+		}
+		for i, q := range qual {
+			if q < 33 || q > 126 {
+				return nil, fmt.Errorf("dna: fastq line %d: invalid quality byte %d at position %d", line, q, i)
+			}
+		}
+		reads = append(reads, Read{ID: id[0], Seq: seqCopy, Qual: append([]byte(nil), qual...)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dna: fastq: %w", err)
+	}
+	return reads, nil
+}
+
+// WriteFASTQ writes reads in 4-line FASTQ format. Reads without qualities
+// are written with a constant 'I' (Phred 40) quality string.
+func WriteFASTQ(w io.Writer, reads []Read) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reads {
+		qual := r.Qual
+		if qual == nil {
+			qual = bytes.Repeat([]byte{'I'}, len(r.Seq))
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", r.ID, r.Seq, qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

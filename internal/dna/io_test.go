@@ -1,0 +1,155 @@
+package dna
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTA(t *testing.T) {
+	in := ">r1 some description\nACGT\nacgt\n\n>r2\nNNNA\n"
+	reads, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 {
+		t.Fatalf("got %d reads, want 2", len(reads))
+	}
+	if reads[0].ID != "r1" || string(reads[0].Seq) != "ACGTACGT" {
+		t.Errorf("read 0 = %+v", reads[0])
+	}
+	if reads[1].ID != "r2" || string(reads[1].Seq) != "NNNA" {
+		t.Errorf("read 1 = %+v", reads[1])
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\n",      // sequence before header
+		">r1\nACGX\n", // invalid base
+		"> \nACGT\n",  // empty header
+	}
+	for _, in := range cases {
+		if _, err := ReadFASTA(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadFASTA(%q) = nil error", in)
+		}
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var reads []Read
+	for i := 0; i < 20; i++ {
+		reads = append(reads, Read{ID: "read" + string(rune('A'+i)), Seq: RandomSeq(rng, 1+rng.Intn(300))})
+	}
+	for _, width := range []int{0, 1, 60, 1000} {
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, reads, width); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(reads) {
+			t.Fatalf("width %d: got %d reads, want %d", width, len(got), len(reads))
+		}
+		for i := range reads {
+			if got[i].ID != reads[i].ID || !bytes.Equal(got[i].Seq, reads[i].Seq) {
+				t.Fatalf("width %d read %d: %+v != %+v", width, i, got[i], reads[i])
+			}
+		}
+	}
+}
+
+func TestReadFASTQ(t *testing.T) {
+	in := "@r1 desc\nACGT\n+\nIIII\n@r2\nNA\n+anything\n!~\n"
+	reads, err := ReadFASTQ(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 {
+		t.Fatalf("got %d reads, want 2", len(reads))
+	}
+	if reads[0].ID != "r1" || string(reads[0].Seq) != "ACGT" || string(reads[0].Qual) != "IIII" {
+		t.Errorf("read 0 = %+v", reads[0])
+	}
+	if reads[0].PhredQuality(0) != 40 {
+		t.Errorf("PhredQuality = %d, want 40", reads[0].PhredQuality(0))
+	}
+	if reads[1].PhredQuality(0) != 0 {
+		t.Errorf("PhredQuality('!') = %d, want 0", reads[1].PhredQuality(0))
+	}
+}
+
+func TestReadFASTQErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":    "r1\nACGT\n+\nIIII\n",
+		"empty header":  "@\nACGT\n+\nIIII\n",
+		"truncated seq": "@r1\n",
+		"bad sep":       "@r1\nACGT\nX\nIIII\n",
+		"truncated":     "@r1\nACGT\n+\n",
+		"qual length":   "@r1\nACGT\n+\nIII\n",
+		"bad base":      "@r1\nACGZ\n+\nIIII\n",
+		"bad qual byte": "@r1\nACGT\n+\nII\x1fI\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadFASTQ(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadFASTQ(%q) = nil error", name, in)
+		}
+	}
+}
+
+func TestFASTQRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var reads []Read
+	for i := 0; i < 20; i++ {
+		n := 1 + rng.Intn(150)
+		qual := make([]byte, n)
+		for j := range qual {
+			qual[j] = byte(33 + rng.Intn(42))
+		}
+		reads = append(reads, Read{ID: "q" + string(rune('A'+i)), Seq: RandomSeq(rng, n), Qual: qual})
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, reads); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reads) {
+		t.Fatalf("got %d reads, want %d", len(got), len(reads))
+	}
+	for i := range reads {
+		if got[i].ID != reads[i].ID || !bytes.Equal(got[i].Seq, reads[i].Seq) || !bytes.Equal(got[i].Qual, reads[i].Qual) {
+			t.Fatalf("read %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteFASTQFillsQuality(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, []Read{{ID: "x", Seq: []byte("ACGT")}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0].Qual) != "IIII" {
+		t.Errorf("qual = %q, want IIII", got[0].Qual)
+	}
+}
+
+func TestReadClone(t *testing.T) {
+	r := Read{ID: "a", Seq: []byte("ACGT"), Qual: []byte("IIII")}
+	c := r.Clone()
+	c.Seq[0] = 'T'
+	c.Qual[0] = '!'
+	if r.Seq[0] != 'A' || r.Qual[0] != 'I' {
+		t.Error("Clone shares storage with original")
+	}
+}

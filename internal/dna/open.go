@@ -1,0 +1,40 @@
+package dna
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadsFromFile loads reads from a FASTA or FASTQ file, optionally
+// gzip-compressed, dispatching on the file extension:
+// .fasta/.fa/.fna and .fastq/.fq, each with an optional .gz suffix.
+func ReadsFromFile(path string) ([]Read, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	name := path
+	var r io.Reader = f
+	if strings.HasSuffix(name, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("dna: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(name, ".fastq"), strings.HasSuffix(name, ".fq"):
+		return ReadFASTQ(r)
+	case strings.HasSuffix(name, ".fasta"), strings.HasSuffix(name, ".fa"), strings.HasSuffix(name, ".fna"):
+		return ReadFASTA(r)
+	default:
+		return nil, fmt.Errorf("dna: %s: unknown extension (want .fasta/.fa/.fna/.fastq/.fq[.gz])", path)
+	}
+}

@@ -1,0 +1,76 @@
+package dna
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string, gz bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if gz {
+		w := gzip.NewWriter(f)
+		if _, err := w.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := f.WriteString(content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestReadsFromFileFormats(t *testing.T) {
+	fasta := ">a\nACGT\n>b\nTTTT\n"
+	fastq := "@a\nACGT\n+\nIIII\n"
+	cases := []struct {
+		name    string
+		content string
+		gz      bool
+		want    int
+	}{
+		{"x.fasta", fasta, false, 2},
+		{"x.fa", fasta, false, 2},
+		{"x.fna", fasta, false, 2},
+		{"x.fastq", fastq, false, 1},
+		{"x.fq", fastq, false, 1},
+		{"x.fasta.gz", fasta, true, 2},
+		{"x.fastq.gz", fastq, true, 1},
+	}
+	for _, c := range cases {
+		path := writeFile(t, c.name, c.content, c.gz)
+		reads, err := ReadsFromFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(reads) != c.want {
+			t.Errorf("%s: got %d reads, want %d", c.name, len(reads), c.want)
+		}
+	}
+}
+
+func TestReadsFromFileErrors(t *testing.T) {
+	if _, err := ReadsFromFile("/nonexistent/reads.fastq"); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeFile(t, "x.txt", ">a\nACGT\n", false)
+	if _, err := ReadsFromFile(path); err == nil {
+		t.Error("unknown extension accepted")
+	}
+	bad := writeFile(t, "y.fastq.gz", "not gzip", false)
+	if _, err := ReadsFromFile(bad); err == nil {
+		t.Error("non-gzip content with .gz extension accepted")
+	}
+}

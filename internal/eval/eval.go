@@ -1,0 +1,347 @@
+// Package eval is a reference-based assembly evaluator (a QUAST-lite):
+// contigs are anchored to reference genomes by unique k-mers, anchor runs
+// are chained into aligned blocks, and the blocks yield genome fraction,
+// duplication ratio, per-contig identity estimates and misassembly
+// counts. The benchmark harness uses it to ground Table III-style
+// statistics in accuracy, not just contiguity, and to compare the Focus
+// and de Bruijn assemblers fairly.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"focus/internal/dna"
+)
+
+// Reference is one reference sequence to evaluate against.
+type Reference struct {
+	Name string
+	Seq  []byte
+}
+
+// Config controls evaluation.
+type Config struct {
+	K int // anchor k-mer size
+	// MinBlock is the minimum anchored block length (bp) that counts as
+	// aligned.
+	MinBlock int
+	// MaxGap is the largest anchor-to-anchor inconsistency (bp) allowed
+	// within one block; larger jumps split blocks (candidate
+	// misassemblies).
+	MaxGap int
+	// MinContig ignores contigs shorter than this.
+	MinContig int
+}
+
+// DefaultConfig returns evaluation parameters for 100 bp-read assemblies.
+func DefaultConfig() Config {
+	return Config{K: 25, MinBlock: 120, MaxGap: 60, MinContig: 100}
+}
+
+// Block is a contiguous run of consistent anchors: contig
+// [CStart, CEnd) maps to reference ref at [RStart, REnd) on the given
+// strand.
+type Block struct {
+	Contig  int
+	Ref     int
+	Strand  byte // '+' or '-'
+	CStart  int
+	CEnd    int
+	RStart  int
+	REnd    int
+	Anchors int
+}
+
+// ContigReport summarizes one contig's evaluation.
+type ContigReport struct {
+	Length int
+	// Aligned is the number of contig bases inside blocks.
+	Aligned int
+	// Blocks the contig split into; >1 with distant targets indicates a
+	// misassembly or a chimera.
+	Blocks []Block
+	// Misassemblies counts adjacent block pairs that jump reference,
+	// strand, or position by more than MaxGap.
+	Misassemblies int
+	Unaligned     bool
+}
+
+// Report is the whole-assembly evaluation.
+type Report struct {
+	Refs    []Reference
+	Contigs []ContigReport
+	// GenomeFraction is the fraction of total reference bases covered by
+	// at least one aligned block.
+	GenomeFraction float64
+	// DuplicationRatio is aligned contig bases divided by covered
+	// reference bases (1.0 = no redundancy; ~2.0 expected when both
+	// strands are assembled separately).
+	DuplicationRatio float64
+	TotalAligned     int
+	TotalUnaligned   int
+	Misassemblies    int
+}
+
+// anchorIndex maps each k-mer that occurs exactly once across all
+// references (canonical form) to its location.
+type anchorIndex struct {
+	k    int
+	locs map[dna.Kmer]anchorLoc
+}
+
+type anchorLoc struct {
+	ref    int32
+	pos    int32
+	strand byte // strand of the canonical form in the reference
+	dup    bool
+}
+
+func buildAnchorIndex(refs []Reference, k int) *anchorIndex {
+	ix := &anchorIndex{k: k, locs: make(map[dna.Kmer]anchorLoc)}
+	for ri, ref := range refs {
+		it := dna.NewKmerIter(ref.Seq, k)
+		for {
+			km, off, ok := it.Next()
+			if !ok {
+				break
+			}
+			can := km.Canonical(k)
+			strand := byte('+')
+			if can != km {
+				strand = '-'
+			}
+			if loc, seen := ix.locs[can]; seen {
+				loc.dup = true
+				ix.locs[can] = loc
+				continue
+			}
+			ix.locs[can] = anchorLoc{ref: int32(ri), pos: int32(off), strand: strand}
+		}
+	}
+	return ix
+}
+
+// anchor is one contig k-mer matched to a unique reference k-mer.
+type anchor struct {
+	cpos   int
+	ref    int32
+	rpos   int
+	strand byte // contig strand relative to reference
+}
+
+// Evaluate aligns every contig against the references and builds the
+// report.
+func Evaluate(contigs [][]byte, refs []Reference, cfg Config) (*Report, error) {
+	if cfg.K <= 0 || cfg.K > dna.MaxK {
+		return nil, fmt.Errorf("eval: k=%d out of range", cfg.K)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("eval: no references")
+	}
+	ix := buildAnchorIndex(refs, cfg.K)
+
+	rep := &Report{Refs: refs}
+	// Coverage bitmaps per reference.
+	covered := make([][]bool, len(refs))
+	for i, r := range refs {
+		covered[i] = make([]bool, len(r.Seq))
+	}
+
+	for ci, contig := range contigs {
+		cr := ContigReport{Length: len(contig)}
+		if len(contig) < cfg.MinContig {
+			cr.Unaligned = true
+			rep.Contigs = append(rep.Contigs, cr)
+			continue
+		}
+		anchors := collectAnchors(contig, ix)
+		cr.Blocks = chainAnchors(anchors, ci, cfg)
+		for _, b := range cr.Blocks {
+			cr.Aligned += b.CEnd - b.CStart
+			for p := b.RStart; p < b.REnd && p < len(covered[b.Ref]); p++ {
+				covered[b.Ref][p] = true
+			}
+		}
+		cr.Misassemblies = countMisassemblies(cr.Blocks, cfg)
+		cr.Unaligned = len(cr.Blocks) == 0
+		if cr.Unaligned {
+			rep.TotalUnaligned += cr.Length
+		} else {
+			rep.TotalAligned += cr.Aligned
+		}
+		rep.Misassemblies += cr.Misassemblies
+		rep.Contigs = append(rep.Contigs, cr)
+	}
+
+	totalRef, coveredRef := 0, 0
+	for i := range covered {
+		totalRef += len(covered[i])
+		for _, c := range covered[i] {
+			if c {
+				coveredRef++
+			}
+		}
+	}
+	if totalRef > 0 {
+		rep.GenomeFraction = float64(coveredRef) / float64(totalRef)
+	}
+	if coveredRef > 0 {
+		rep.DuplicationRatio = float64(rep.TotalAligned) / float64(coveredRef)
+	}
+	return rep, nil
+}
+
+// collectAnchors finds the unique-k-mer matches of a contig.
+func collectAnchors(contig []byte, ix *anchorIndex) []anchor {
+	var anchors []anchor
+	it := dna.NewKmerIter(contig, ix.k)
+	for {
+		km, off, ok := it.Next()
+		if !ok {
+			break
+		}
+		can := km.Canonical(ix.k)
+		loc, seen := ix.locs[can]
+		if !seen || loc.dup {
+			continue
+		}
+		// Contig strand relative to the reference: the contig k-mer and
+		// the reference k-mer are each either the canonical form or its
+		// reverse complement.
+		cstrand := byte('+')
+		if can != km {
+			cstrand = '-'
+		}
+		strand := byte('+')
+		if cstrand != loc.strand {
+			strand = '-'
+		}
+		anchors = append(anchors, anchor{cpos: off, ref: loc.ref, rpos: int(loc.pos), strand: strand})
+	}
+	return anchors
+}
+
+// chainAnchors groups consistent consecutive anchors into blocks.
+func chainAnchors(anchors []anchor, contig int, cfg Config) []Block {
+	var blocks []Block
+	var cur *Block
+	var lastA anchor
+	flush := func() {
+		if cur != nil && cur.CEnd-cur.CStart >= cfg.MinBlock && cur.Anchors >= 2 {
+			blocks = append(blocks, *cur)
+		}
+		cur = nil
+	}
+	for _, a := range anchors {
+		if cur != nil {
+			ok := a.ref == int32(cur.Ref) && a.strand == cur.Strand
+			if ok {
+				// Consistent diagonal: reference delta matches contig
+				// delta (sign depends on strand).
+				cd := a.cpos - lastA.cpos
+				rd := a.rpos - lastA.rpos
+				if cur.Strand == '-' {
+					rd = -rd
+				}
+				diff := rd - cd
+				if diff < 0 {
+					diff = -diff
+				}
+				ok = cd >= 0 && diff <= cfg.MaxGap
+			}
+			if !ok {
+				flush()
+			}
+		}
+		if cur == nil {
+			cur = &Block{
+				Contig: contig, Ref: int(a.ref), Strand: a.strand,
+				CStart: a.cpos, CEnd: a.cpos + cfg.K,
+				RStart: a.rpos, REnd: a.rpos + cfg.K,
+				Anchors: 1,
+			}
+			lastA = a
+			continue
+		}
+		cur.CEnd = a.cpos + cfg.K
+		if a.strand == '+' {
+			if a.rpos+cfg.K > cur.REnd {
+				cur.REnd = a.rpos + cfg.K
+			}
+		} else {
+			if a.rpos < cur.RStart {
+				cur.RStart = a.rpos
+			}
+			if a.rpos+cfg.K > cur.REnd {
+				cur.REnd = a.rpos + cfg.K
+			}
+		}
+		cur.Anchors++
+		lastA = a
+	}
+	flush()
+	return blocks
+}
+
+// countMisassemblies counts adjacent block pairs within a contig whose
+// reference placements are inconsistent.
+func countMisassemblies(blocks []Block, cfg Config) int {
+	n := 0
+	for i := 1; i < len(blocks); i++ {
+		a, b := blocks[i-1], blocks[i]
+		if a.Ref != b.Ref || a.Strand != b.Strand {
+			n++
+			continue
+		}
+		// Same ref and strand: positions must progress consistently.
+		cd := b.CStart - a.CEnd
+		var rd int
+		if a.Strand == '+' {
+			rd = b.RStart - a.REnd
+		} else {
+			rd = a.RStart - b.REnd
+		}
+		diff := rd - cd
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 10*cfg.MaxGap {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary renders a one-line overview.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("genome fraction %.1f%%, duplication %.2fx, aligned %d bp, unaligned %d bp, misassemblies %d",
+		100*r.GenomeFraction, r.DuplicationRatio, r.TotalAligned, r.TotalUnaligned, r.Misassemblies)
+}
+
+// NGA50 is the aligned analogue of N50: the N50 over aligned block
+// lengths instead of raw contig lengths (misassembled or unaligned
+// sequence does not inflate it).
+func (r *Report) NGA50() int {
+	var lens []int
+	total := 0
+	for _, c := range r.Contigs {
+		for _, b := range c.Blocks {
+			l := b.CEnd - b.CStart
+			lens = append(lens, l)
+			total += l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	cum := 0
+	for _, l := range lens {
+		cum += l
+		if 2*cum >= total {
+			return l
+		}
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package eval
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"focus/internal/dna"
+)
+
+func randGenome(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = "ACGT"[rng.Intn(4)]
+	}
+	return g
+}
+
+func TestEvaluatePerfectAssembly(t *testing.T) {
+	genome := randGenome(1, 5000)
+	refs := []Reference{{Name: "g", Seq: genome}}
+	contigs := [][]byte{append([]byte(nil), genome...)}
+	rep, err := Evaluate(contigs, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GenomeFraction < 0.99 {
+		t.Errorf("genome fraction = %v", rep.GenomeFraction)
+	}
+	if rep.Misassemblies != 0 {
+		t.Errorf("misassemblies = %d", rep.Misassemblies)
+	}
+	if rep.DuplicationRatio < 0.99 || rep.DuplicationRatio > 1.01 {
+		t.Errorf("duplication = %v", rep.DuplicationRatio)
+	}
+	if len(rep.Contigs) != 1 || rep.Contigs[0].Unaligned {
+		t.Fatalf("report = %+v", rep.Contigs)
+	}
+	if rep.NGA50() < 4900 {
+		t.Errorf("NGA50 = %d", rep.NGA50())
+	}
+}
+
+func TestEvaluateReverseStrandContig(t *testing.T) {
+	genome := randGenome(2, 3000)
+	refs := []Reference{{Name: "g", Seq: genome}}
+	rc := dna.ReverseComplement(genome[500:1500])
+	rep, err := Evaluate([][]byte{rc}, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Contigs[0].Blocks) != 1 {
+		t.Fatalf("blocks = %+v", rep.Contigs[0].Blocks)
+	}
+	b := rep.Contigs[0].Blocks[0]
+	if b.Strand != '-' {
+		t.Errorf("strand = %c", b.Strand)
+	}
+	if b.RStart > 520 || b.REnd < 1480 {
+		t.Errorf("block covers [%d,%d), want ~[500,1500)", b.RStart, b.REnd)
+	}
+	if rep.GenomeFraction < 0.30 || rep.GenomeFraction > 0.36 {
+		t.Errorf("genome fraction = %v", rep.GenomeFraction)
+	}
+}
+
+func TestEvaluateHalfCoverage(t *testing.T) {
+	genome := randGenome(3, 4000)
+	refs := []Reference{{Name: "g", Seq: genome}}
+	rep, err := Evaluate([][]byte{genome[:2000]}, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GenomeFraction < 0.48 || rep.GenomeFraction > 0.52 {
+		t.Errorf("genome fraction = %v, want ~0.5", rep.GenomeFraction)
+	}
+}
+
+func TestEvaluateDetectsChimera(t *testing.T) {
+	g1 := randGenome(4, 3000)
+	g2 := randGenome(5, 3000)
+	refs := []Reference{{Name: "a", Seq: g1}, {Name: "b", Seq: g2}}
+	// Chimeric contig: half from each genome.
+	chimera := append(append([]byte(nil), g1[:1000]...), g2[1000:2000]...)
+	rep, err := Evaluate([][]byte{chimera}, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := rep.Contigs[0]
+	if len(cr.Blocks) != 2 {
+		t.Fatalf("blocks = %+v", cr.Blocks)
+	}
+	if cr.Misassemblies != 1 {
+		t.Errorf("misassemblies = %d, want 1", cr.Misassemblies)
+	}
+	if cr.Blocks[0].Ref == cr.Blocks[1].Ref {
+		t.Errorf("both blocks on ref %d", cr.Blocks[0].Ref)
+	}
+}
+
+func TestEvaluateDetectsInternalJump(t *testing.T) {
+	genome := randGenome(6, 6000)
+	refs := []Reference{{Name: "g", Seq: genome}}
+	// Contig that jumps from position 500 to 4000 (a deletion-style
+	// misjoin well beyond MaxGap).
+	jump := append(append([]byte(nil), genome[0:500]...), genome[4000:4700]...)
+	rep, err := Evaluate([][]byte{jump}, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := rep.Contigs[0]
+	if len(cr.Blocks) != 2 {
+		t.Fatalf("blocks = %+v", cr.Blocks)
+	}
+	if cr.Misassemblies != 1 {
+		t.Errorf("misassemblies = %d, want 1", cr.Misassemblies)
+	}
+}
+
+func TestEvaluateUnalignedContig(t *testing.T) {
+	genome := randGenome(7, 3000)
+	refs := []Reference{{Name: "g", Seq: genome}}
+	junk := randGenome(8, 1000)
+	rep, err := Evaluate([][]byte{junk}, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Contigs[0].Unaligned {
+		t.Error("random contig aligned")
+	}
+	if rep.TotalUnaligned != 1000 {
+		t.Errorf("unaligned bases = %d", rep.TotalUnaligned)
+	}
+	if rep.GenomeFraction != 0 {
+		t.Errorf("genome fraction = %v", rep.GenomeFraction)
+	}
+}
+
+func TestEvaluateToleratesScatteredErrors(t *testing.T) {
+	genome := randGenome(9, 4000)
+	refs := []Reference{{Name: "g", Seq: genome}}
+	noisy := append([]byte(nil), genome...)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 20; i++ { // 0.5% error
+		p := rng.Intn(len(noisy))
+		noisy[p] = "ACGT"[rng.Intn(4)]
+	}
+	rep, err := Evaluate([][]byte{noisy}, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GenomeFraction < 0.95 {
+		t.Errorf("genome fraction = %v with 0.5%% errors", rep.GenomeFraction)
+	}
+	if rep.Misassemblies != 0 {
+		t.Errorf("misassemblies = %d", rep.Misassemblies)
+	}
+}
+
+func TestEvaluateDuplicationBothStrands(t *testing.T) {
+	genome := randGenome(11, 3000)
+	refs := []Reference{{Name: "g", Seq: genome}}
+	contigs := [][]byte{
+		append([]byte(nil), genome...),
+		dna.ReverseComplement(genome),
+	}
+	rep, err := Evaluate(contigs, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DuplicationRatio < 1.9 || rep.DuplicationRatio > 2.1 {
+		t.Errorf("duplication = %v, want ~2 for double-stranded assembly", rep.DuplicationRatio)
+	}
+}
+
+func TestEvaluateShortContigsIgnored(t *testing.T) {
+	genome := randGenome(12, 2000)
+	refs := []Reference{{Name: "g", Seq: genome}}
+	rep, err := Evaluate([][]byte{genome[:50]}, refs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Contigs[0].Unaligned || rep.GenomeFraction != 0 {
+		t.Errorf("short contig not ignored: %+v", rep.Contigs[0])
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, nil, DefaultConfig()); err == nil {
+		t.Error("no references accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.K = 0
+	if _, err := Evaluate(nil, []Reference{{Name: "g", Seq: []byte("ACGT")}}, cfg); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	genome := randGenome(13, 2000)
+	rep, err := Evaluate([][]byte{genome}, []Reference{{Name: "g", Seq: genome}}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(rep.Summary()), []byte("genome fraction")) {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}

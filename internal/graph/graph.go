@@ -1,0 +1,183 @@
+// Package graph provides the weighted graph representation shared by the
+// coarsening, hybrid-graph and partitioning stages. The overlap graph G0
+// (paper §II.C) has one node per read and one weighted edge per accepted
+// overlap, the edge weight being the alignment length.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arc is one directed half of an undirected weighted edge.
+type Arc struct {
+	To int
+	W  int64
+}
+
+// Graph is a static undirected weighted graph with weighted nodes.
+// Parallel edges are merged at build time (weights summed); self-loops are
+// dropped.
+type Graph struct {
+	nodeWeight []int64
+	adj        [][]Arc
+	totalEdgeW int64 // sum of edge weights, each edge counted once
+	numEdges   int
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns |E| (undirected edges).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// TotalEdgeWeight returns the sum of all edge weights.
+func (g *Graph) TotalEdgeWeight() int64 { return g.totalEdgeW }
+
+// NodeWeight returns the weight of node v.
+func (g *Graph) NodeWeight(v int) int64 { return g.nodeWeight[v] }
+
+// TotalNodeWeight returns the sum of node weights.
+func (g *Graph) TotalNodeWeight() int64 {
+	var t int64
+	for _, w := range g.nodeWeight {
+		t += w
+	}
+	return t
+}
+
+// Adj returns the adjacency list of v, sorted by neighbour id. Callers
+// must not modify it.
+func (g *Graph) Adj(v int) []Arc { return g.adj[v] }
+
+// Degree returns the number of distinct neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// EdgeWeight returns the weight of edge {u,v}, or 0 if absent.
+func (g *Graph) EdgeWeight(u, v int) int64 {
+	arcs := g.adj[u]
+	i := sort.Search(len(arcs), func(i int) bool { return arcs[i].To >= v })
+	if i < len(arcs) && arcs[i].To == v {
+		return arcs[i].W
+	}
+	return 0
+}
+
+// Builder accumulates edges for a Graph.
+type Builder struct {
+	n          int
+	nodeWeight []int64
+	us, vs     []int32
+	ws         []int64
+}
+
+// NewBuilder creates a builder for n nodes, all with weight 1.
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n, nodeWeight: make([]int64, n)}
+	for i := range b.nodeWeight {
+		b.nodeWeight[i] = 1
+	}
+	return b
+}
+
+// SetNodeWeight overrides the weight of node v.
+func (b *Builder) SetNodeWeight(v int, w int64) { b.nodeWeight[v] = w }
+
+// AddEdge records an undirected edge {u,v} with weight w. Multiple
+// additions of the same pair accumulate. Self-loops are ignored.
+func (b *Builder) AddEdge(u, v int, w int64) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return nil
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	b.ws = append(b.ws, w)
+	return nil
+}
+
+// Build assembles the graph, merging parallel edges.
+func (b *Builder) Build() *Graph {
+	type key struct{ u, v int32 }
+	merged := make(map[key]int64, len(b.us))
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		if u > v {
+			u, v = v, u
+		}
+		merged[key{u, v}] += b.ws[i]
+	}
+	g := &Graph{
+		nodeWeight: b.nodeWeight,
+		adj:        make([][]Arc, b.n),
+	}
+	deg := make([]int, b.n)
+	for k := range merged {
+		deg[k.u]++
+		deg[k.v]++
+	}
+	for v := range g.adj {
+		g.adj[v] = make([]Arc, 0, deg[v])
+	}
+	for k, w := range merged {
+		g.adj[k.u] = append(g.adj[k.u], Arc{To: int(k.v), W: w})
+		g.adj[k.v] = append(g.adj[k.v], Arc{To: int(k.u), W: w})
+		g.totalEdgeW += w
+		g.numEdges++
+	}
+	for v := range g.adj {
+		arcs := g.adj[v]
+		sort.Slice(arcs, func(i, j int) bool { return arcs[i].To < arcs[j].To })
+	}
+	return g
+}
+
+// Set is a coarsening hierarchy: Levels[0] is the finest graph and
+// Levels[len-1] the most reduced. Up[i][v] gives the parent of node v of
+// Levels[i] in Levels[i+1]. Both the multilevel graph set G = {G0…Gn} and
+// the hybrid graph set G' = {G'0…G'n} of the paper are represented this
+// way.
+type Set struct {
+	Levels []*Graph
+	Up     [][]int
+}
+
+// Validate checks structural invariants of the set.
+func (s *Set) Validate() error {
+	if len(s.Levels) == 0 {
+		return fmt.Errorf("graph: empty set")
+	}
+	if len(s.Up) != len(s.Levels)-1 {
+		return fmt.Errorf("graph: %d levels but %d up-maps", len(s.Levels), len(s.Up))
+	}
+	for i, up := range s.Up {
+		if len(up) != s.Levels[i].NumNodes() {
+			return fmt.Errorf("graph: up-map %d has %d entries for %d nodes", i, len(up), s.Levels[i].NumNodes())
+		}
+		for v, p := range up {
+			if p < 0 || p >= s.Levels[i+1].NumNodes() {
+				return fmt.Errorf("graph: node %d of level %d maps to invalid parent %d", v, i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Coarsest returns the most reduced graph in the set.
+func (s *Set) Coarsest() *Graph { return s.Levels[len(s.Levels)-1] }
+
+// ProjectToFinest maps an assignment on the coarsest level down to level 0:
+// each node inherits the value of its ancestor.
+func (s *Set) ProjectToFinest(coarsest []int) []int {
+	cur := coarsest
+	for i := len(s.Up) - 1; i >= 0; i-- {
+		next := make([]int, len(s.Up[i]))
+		for v, p := range s.Up[i] {
+			next[v] = cur[p]
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,52 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"focus/internal/graph"
+)
+
+// WriteDOT renders a weighted graph in Graphviz DOT format. labels, when
+// non-nil, colors nodes by partition (cycling through a small palette).
+// Intended for inspecting small graphs (hybrid graphs, coarse levels);
+// the node cap guards against accidentally dumping a full overlap graph.
+func WriteDOT(w io.Writer, g *graph.Graph, labels []int32, maxNodes int) error {
+	if maxNodes > 0 && g.NumNodes() > maxNodes {
+		return fmt.Errorf("graphio: graph has %d nodes, above the DOT cap %d", g.NumNodes(), maxNodes)
+	}
+	if labels != nil && len(labels) != g.NumNodes() {
+		return fmt.Errorf("graphio: %d labels for %d nodes", len(labels), g.NumNodes())
+	}
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+		"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph G {")
+	fmt.Fprintln(bw, "  node [shape=circle, style=filled, fontsize=8];")
+	for v := 0; v < g.NumNodes(); v++ {
+		color := "#cccccc"
+		part := ""
+		if labels != nil {
+			color = palette[int(labels[v])%len(palette)]
+			part = fmt.Sprintf(" part %d", labels[v])
+		}
+		fmt.Fprintf(bw, "  n%d [fillcolor=\"%s\", tooltip=\"node %d w=%d%s\"];\n",
+			v, color, v, g.NodeWeight(v), part)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, a := range g.Adj(v) {
+			if a.To > v {
+				attrs := fmt.Sprintf("label=\"%d\"", a.W)
+				if labels != nil && labels[v] != labels[a.To] {
+					attrs += ", color=red, penwidth=2" // cut edge
+				}
+				fmt.Fprintf(bw, "  n%d -- n%d [%s];\n", v, a.To, attrs)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

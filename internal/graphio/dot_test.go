@@ -1,0 +1,53 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+
+	"focus/internal/graph"
+)
+
+func smallGraph() *graph.Graph {
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 5)
+	_ = b.AddEdge(1, 2, 7)
+	_ = b.AddEdge(2, 3, 2)
+	return b.Build()
+}
+
+func TestWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, smallGraph(), []int32{0, 0, 1, 1}, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph G {", "n0 -- n1", "label=\"7\"", "color=red"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one cut edge (1-2) should be red.
+	if strings.Count(out, "color=red") != 1 {
+		t.Errorf("cut edges marked: %d, want 1", strings.Count(out, "color=red"))
+	}
+}
+
+func TestWriteDOTNoLabels(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, smallGraph(), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "color=red") {
+		t.Error("cut marking without labels")
+	}
+}
+
+func TestWriteDOTErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, smallGraph(), []int32{0}, 100); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	if err := WriteDOT(&sb, smallGraph(), nil, 2); err == nil {
+		t.Error("node cap not enforced")
+	}
+}

@@ -1,0 +1,226 @@
+// Package graphio serializes overlap records and weighted graphs in a
+// compact binary format with magic headers, versioning and a checksum.
+// Overlap detection dominates pipeline cost, so cmd/focus can persist the
+// record list (-save-overlaps) and later rebuild all graph stages from it
+// (-load-overlaps) without re-aligning.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+
+	"focus/internal/align"
+	"focus/internal/graph"
+	"focus/internal/overlap"
+)
+
+const (
+	recordsMagic = "FOCR"
+	graphMagic   = "FOCG"
+	version      = 1
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc64.Update(c.crc, crcTable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint64
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc64.Update(c.crc, crcTable, p[:n])
+	return n, err
+}
+
+// WriteRecords serializes overlap records (with the read count they refer
+// to, so loaders can validate against their read set).
+func WriteRecords(w io.Writer, numReads int, recs []overlap.Record) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(recordsMagic)); err != nil {
+		return err
+	}
+	hdr := []uint64{version, uint64(numReads), uint64(len(recs))}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		fields := []int32{r.A, r.B, int32(r.Kind), r.Len, int32(r.Identity * 1e6), r.Diag}
+		for _, f := range fields {
+			if err := binary.Write(cw, binary.LittleEndian, f); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadRecords deserializes a record file, verifying magic, version and
+// checksum.
+func ReadRecords(r io.Reader) (numReads int, recs []overlap.Record, err error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return 0, nil, fmt.Errorf("graphio: reading magic: %w", err)
+	}
+	if string(magic) != recordsMagic {
+		return 0, nil, fmt.Errorf("graphio: bad magic %q", magic)
+	}
+	var ver, nReads, nRecs uint64
+	for _, p := range []*uint64{&ver, &nReads, &nRecs} {
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return 0, nil, fmt.Errorf("graphio: reading header: %w", err)
+		}
+	}
+	if ver != version {
+		return 0, nil, fmt.Errorf("graphio: unsupported version %d", ver)
+	}
+	if nRecs > 1<<34 {
+		return 0, nil, fmt.Errorf("graphio: implausible record count %d", nRecs)
+	}
+	recs = make([]overlap.Record, nRecs)
+	for i := range recs {
+		var fields [6]int32
+		for j := range fields {
+			if err := binary.Read(cr, binary.LittleEndian, &fields[j]); err != nil {
+				return 0, nil, fmt.Errorf("graphio: reading record %d: %w", i, err)
+			}
+		}
+		recs[i] = overlap.Record{
+			A: fields[0], B: fields[1],
+			Kind: align.Kind(fields[2]),
+			Len:  fields[3], Identity: float32(fields[4]) / 1e6, Diag: fields[5],
+		}
+		if recs[i].A < 0 || int(recs[i].A) >= int(nReads) || recs[i].B < 0 || int(recs[i].B) >= int(nReads) {
+			return 0, nil, fmt.Errorf("graphio: record %d references read outside [0,%d)", i, nReads)
+		}
+	}
+	want := cr.crc
+	var got uint64
+	if err := binary.Read(cr.r, binary.LittleEndian, &got); err != nil {
+		return 0, nil, fmt.Errorf("graphio: reading checksum: %w", err)
+	}
+	if got != want {
+		return 0, nil, fmt.Errorf("graphio: checksum mismatch (file %x, computed %x)", got, want)
+	}
+	return int(nReads), recs, nil
+}
+
+// WriteGraph serializes a weighted graph.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(graphMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint64(version)); err != nil {
+		return err
+	}
+	n := g.NumNodes()
+	if err := binary.Write(cw, binary.LittleEndian, uint64(n)); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if err := binary.Write(cw, binary.LittleEndian, g.NodeWeight(v)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		for _, a := range g.Adj(v) {
+			if a.To <= v {
+				continue
+			}
+			for _, f := range []int64{int64(v), int64(a.To), a.W} {
+				if err := binary.Write(cw, binary.LittleEndian, f); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadGraph deserializes a weighted graph.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("graphio: reading magic: %w", err)
+	}
+	if string(magic) != graphMagic {
+		return nil, fmt.Errorf("graphio: bad magic %q", magic)
+	}
+	var ver, n uint64
+	if err := binary.Read(cr, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("graphio: unsupported version %d", ver)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<34 {
+		return nil, fmt.Errorf("graphio: implausible node count %d", n)
+	}
+	b := graph.NewBuilder(int(n))
+	for v := 0; v < int(n); v++ {
+		var w int64
+		if err := binary.Read(cr, binary.LittleEndian, &w); err != nil {
+			return nil, fmt.Errorf("graphio: node weight %d: %w", v, err)
+		}
+		b.SetNodeWeight(v, w)
+	}
+	var m uint64
+	if err := binary.Read(cr, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if m > 1<<36 {
+		return nil, fmt.Errorf("graphio: implausible edge count %d", m)
+	}
+	for i := 0; i < int(m); i++ {
+		var u, v, w int64
+		for _, p := range []*int64{&u, &v, &w} {
+			if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+				return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
+			}
+		}
+		if err := b.AddEdge(int(u), int(v), w); err != nil {
+			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
+		}
+	}
+	want := cr.crc
+	var got uint64
+	if err := binary.Read(cr.r, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("graphio: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("graphio: checksum mismatch")
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,175 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"focus/internal/align"
+	"focus/internal/graph"
+	"focus/internal/overlap"
+)
+
+func randomRecords(seed int64, numReads, n int) []overlap.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]overlap.Record, n)
+	kinds := []align.Kind{align.KindSuffixPrefix, align.KindPrefixSuffix, align.KindAContainsB, align.KindBContainsA}
+	for i := range recs {
+		a := int32(rng.Intn(numReads))
+		b := int32(rng.Intn(numReads))
+		recs[i] = overlap.Record{
+			A: a, B: b,
+			Kind:     kinds[rng.Intn(len(kinds))],
+			Len:      int32(50 + rng.Intn(100)),
+			Identity: float32(0.9 + 0.1*rng.Float64()),
+			Diag:     int32(rng.Intn(200) - 100),
+		}
+	}
+	return recs
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	recs := randomRecords(1, 500, 2000)
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, 500, recs); err != nil {
+		t.Fatal(err)
+	}
+	numReads, got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numReads != 500 || len(got) != len(recs) {
+		t.Fatalf("numReads=%d records=%d", numReads, len(got))
+	}
+	for i := range recs {
+		if got[i].A != recs[i].A || got[i].B != recs[i].B || got[i].Kind != recs[i].Kind ||
+			got[i].Len != recs[i].Len || got[i].Diag != recs[i].Diag {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+		d := got[i].Identity - recs[i].Identity
+		if d < -1e-5 || d > 1e-5 {
+			t.Fatalf("record %d identity %v != %v", i, got[i].Identity, recs[i].Identity)
+		}
+	}
+}
+
+func TestRecordsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	n, got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || len(got) != 0 {
+		t.Fatalf("n=%d records=%d", n, len(got))
+	}
+}
+
+func TestRecordsRejectsCorruption(t *testing.T) {
+	recs := randomRecords(2, 100, 50)
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, 100, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, _, err := ReadRecords(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+
+	// Bad magic.
+	bad = append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, _, err := ReadRecords(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Truncation.
+	if _, _, err := ReadRecords(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Error("truncated file accepted")
+	}
+
+	// Empty input.
+	if _, _, err := ReadRecords(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestRecordsRejectsOutOfRangeReads(t *testing.T) {
+	recs := []overlap.Record{{A: 0, B: 99, Len: 60}}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, 10, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadRecords(&buf); err == nil {
+		t.Error("record referencing read 99 of 10 accepted")
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder(200)
+	for v := 0; v < 200; v++ {
+		b.SetNodeWeight(v, int64(1+rng.Intn(50)))
+	}
+	for i := 0; i < 1500; i++ {
+		_ = b.AddEdge(rng.Intn(200), rng.Intn(200), int64(1+rng.Intn(1000)))
+	}
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("nodes/edges %d/%d, want %d/%d", got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if got.TotalEdgeWeight() != g.TotalEdgeWeight() || got.TotalNodeWeight() != g.TotalNodeWeight() {
+		t.Fatal("weights differ")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if got.NodeWeight(v) != g.NodeWeight(v) {
+			t.Fatalf("node %d weight", v)
+		}
+		ga, wa := got.Adj(v), g.Adj(v)
+		if len(ga) != len(wa) {
+			t.Fatalf("node %d degree %d != %d", v, len(ga), len(wa))
+		}
+		for i := range wa {
+			if ga[i] != wa[i] {
+				t.Fatalf("node %d arc %d: %+v != %+v", v, i, ga[i], wa[i])
+			}
+		}
+	}
+}
+
+func TestGraphRejectsCorruption(t *testing.T) {
+	b := graph.NewBuilder(5)
+	_ = b.AddEdge(0, 1, 3)
+	_ = b.AddEdge(1, 2, 4)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	bad := append([]byte(nil), data...)
+	bad[20] ^= 0x55
+	if _, err := ReadGraph(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted graph accepted")
+	}
+	if _, err := ReadGraph(bytes.NewReader(data[:10])); err == nil {
+		t.Error("truncated graph accepted")
+	}
+	if _, err := ReadGraph(bytes.NewReader([]byte("FOCRxxxxxxxxxxxxxxxx"))); err == nil {
+		t.Error("records magic accepted as graph")
+	}
+}

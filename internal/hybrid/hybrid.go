@@ -1,0 +1,466 @@
+// Package hybrid builds the hybrid graph set G' = {G'0 … G'n} of paper
+// §II.D and §III. A best representative node is a node selected from the
+// most reduced multilevel graph possible whose read cluster assembles into
+// one contiguous contig; the hybrid graph G'0 contains all best
+// representatives. Partitioning G'0's set instead of the full multilevel
+// set is the paper's mechanism for injecting the linearity of DNA into the
+// partitioner.
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+
+	"focus/internal/dna"
+	"focus/internal/graph"
+	"focus/internal/overlap"
+)
+
+// Node is one hybrid-graph node: a best-representative read cluster.
+type Node struct {
+	// Level is the multilevel graph level the representative was selected
+	// from (0 = a single read).
+	Level int
+	// Members are the overlap-graph (G0) node ids in the cluster.
+	Members []int
+	// Contig is the consensus sequence assembled from the cluster layout.
+	Contig []byte
+	// Offsets[i] is the layout position of Members[i] within Contig.
+	Offsets []int
+}
+
+// Hybrid is the hybrid graph plus its coarsening set and provenance.
+type Hybrid struct {
+	Nodes []Node
+	// RepOf maps each G0 node to its hybrid node index.
+	RepOf []int
+	// G is the hybrid graph G'0 (undirected, edge weights = summed
+	// crossing overlap lengths), the graph the distributed assembly
+	// algorithms run on.
+	G *graph.Graph
+	// Set is the hybrid graph set {G'0 … G'n} used for partitioning.
+	Set *graph.Set
+}
+
+// Config controls linearity testing.
+type Config struct {
+	// PosTolerance is the max disagreement (bases) between two layout
+	// position estimates of the same read before the cluster is declared
+	// non-linear (e.g. collapsed repeats).
+	PosTolerance int
+	// RequireOverlap guards against chimeric layouts across exact repeat
+	// copies: any two cluster reads whose layout implies an overlap of at
+	// least this many bases must be connected by an actual overlap
+	// record, otherwise the cluster is rejected. Slightly above the
+	// overlap acceptance threshold so sparse seed sampling does not cause
+	// spurious rejections.
+	RequireOverlap int
+}
+
+// DefaultConfig returns the default linearity tolerances.
+func DefaultConfig() Config { return Config{PosTolerance: 5, RequireOverlap: 65} }
+
+// Build selects best representatives top-down through the multilevel set
+// and assembles the hybrid graph set. reads are the preprocessed reads
+// backing G0 (= mset.Levels[0]); recs are the overlap records.
+func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config) (*Hybrid, error) {
+	if err := mset.Validate(); err != nil {
+		return nil, err
+	}
+	g0 := mset.Levels[0]
+	if g0.NumNodes() != len(reads) {
+		return nil, fmt.Errorf("hybrid: %d reads for %d graph nodes", len(reads), g0.NumNodes())
+	}
+	if cfg.PosTolerance <= 0 {
+		cfg.PosTolerance = DefaultConfig().PosTolerance
+	}
+	if cfg.RequireOverlap <= 0 {
+		cfg.RequireOverlap = DefaultConfig().RequireOverlap
+	}
+
+	// Incidence of overlap records per G0 node.
+	inc := make([][]int32, len(reads))
+	for ri, r := range recs {
+		inc[r.A] = append(inc[r.A], int32(ri))
+		inc[r.B] = append(inc[r.B], int32(ri))
+	}
+
+	// assign[v] = current node of level L containing G0 node v.
+	n0 := g0.NumNodes()
+	levels := len(mset.Levels)
+	// Cumulative assignment per level.
+	assignAt := make([][]int, levels)
+	assignAt[0] = make([]int, n0)
+	for v := range assignAt[0] {
+		assignAt[0][v] = v
+	}
+	for i := 1; i < levels; i++ {
+		assignAt[i] = make([]int, n0)
+		for v := 0; v < n0; v++ {
+			assignAt[i][v] = mset.Up[i-1][assignAt[i-1][v]]
+		}
+	}
+
+	h := &Hybrid{RepOf: make([]int, n0)}
+	for v := range h.RepOf {
+		h.RepOf[v] = -1
+	}
+
+	// Top-down selection: coarsest level first.
+	scratch := newLayoutScratch(n0, reads, recs, inc, cfg)
+	for level := levels - 1; level >= 0; level-- {
+		clusters := clustersAt(assignAt[level], mset.Levels[level].NumNodes())
+		for _, members := range clusters {
+			if len(members) == 0 {
+				continue
+			}
+			if h.RepOf[members[0]] != -1 {
+				continue // already covered by a higher-level representative
+			}
+			node, ok := scratch.tryLayout(members, level)
+			if !ok {
+				continue // not linear; descend to children
+			}
+			id := len(h.Nodes)
+			h.Nodes = append(h.Nodes, node)
+			for _, m := range members {
+				h.RepOf[m] = id
+			}
+		}
+	}
+	// Level-0 singletons are always linear, so everything is covered.
+	for v, r := range h.RepOf {
+		if r == -1 {
+			return nil, fmt.Errorf("hybrid: node %d uncovered (internal error)", v)
+		}
+	}
+
+	// Hybrid graph G'0: contract G0 by RepOf.
+	b := graph.NewBuilder(len(h.Nodes))
+	for i, n := range h.Nodes {
+		b.SetNodeWeight(i, int64(len(n.Members)))
+	}
+	for v := 0; v < n0; v++ {
+		for _, a := range g0.Adj(v) {
+			if a.To <= v {
+				continue
+			}
+			if h.RepOf[v] != h.RepOf[a.To] {
+				_ = b.AddEdge(h.RepOf[v], h.RepOf[a.To], a.W)
+			}
+		}
+	}
+	h.G = b.Build()
+
+	// Hybrid graph set: at level i, nodes of Gi whose cluster belongs to a
+	// representative chosen at level >= i collapse into that
+	// representative; the rest stay as themselves (paper Fig. 1B).
+	set, err := buildHybridSet(mset, assignAt, h)
+	if err != nil {
+		return nil, err
+	}
+	h.Set = set
+	return h, nil
+}
+
+// clustersAt groups G0 node ids by their node at some level.
+func clustersAt(assign []int, numNodes int) [][]int {
+	out := make([][]int, numNodes)
+	for v, c := range assign {
+		out[c] = append(out[c], v)
+	}
+	return out
+}
+
+// buildHybridSet contracts every multilevel level by the representative
+// assignment to produce the hybrid set and its up-maps.
+func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid) (*graph.Set, error) {
+	levels := len(mset.Levels)
+	set := &graph.Set{}
+	// groupOf[i][v] = hybrid-set node of level-i node v; sizes[i] = count.
+	groupOf := make([][]int, levels)
+	for i := 0; i < levels; i++ {
+		gi := mset.Levels[i]
+		// First member of each level-i node.
+		first := make([]int, gi.NumNodes())
+		for v := range first {
+			first[v] = -1
+		}
+		for v0, c := range assignAt[i] {
+			if first[c] == -1 {
+				first[c] = v0
+			}
+		}
+		group := make([]int, gi.NumNodes())
+		// Slot layout: representatives first (in rep-id order, so that
+		// level 0 of the hybrid set uses exactly the hybrid node ids),
+		// then the surviving plain level-i nodes in id order.
+		repPresent := map[int]bool{}
+		repFor := make([]int, gi.NumNodes()) // rep id, or -1 for plain
+		for v := 0; v < gi.NumNodes(); v++ {
+			m := first[v]
+			if m == -1 {
+				return nil, fmt.Errorf("hybrid: level %d node %d has no members", i, v)
+			}
+			r := h.RepOf[m]
+			if h.Nodes[r].Level >= i {
+				repFor[v] = r
+				repPresent[r] = true
+			} else {
+				repFor[v] = -1
+			}
+		}
+		repIDs := make([]int, 0, len(repPresent))
+		for r := range repPresent {
+			repIDs = append(repIDs, r)
+		}
+		sort.Ints(repIDs)
+		repSlot := make(map[int]int, len(repIDs))
+		for slot, r := range repIDs {
+			repSlot[r] = slot
+		}
+		next := len(repIDs)
+		for v := 0; v < gi.NumNodes(); v++ {
+			if r := repFor[v]; r != -1 {
+				group[v] = repSlot[r]
+			} else {
+				group[v] = next
+				next++
+			}
+		}
+		groupOf[i] = group
+		// Contract level i by group.
+		b := graph.NewBuilder(next)
+		weights := make([]int64, next)
+		for v := 0; v < gi.NumNodes(); v++ {
+			weights[group[v]] += gi.NodeWeight(v)
+		}
+		for c, w := range weights {
+			b.SetNodeWeight(c, w)
+		}
+		for v := 0; v < gi.NumNodes(); v++ {
+			for _, a := range gi.Adj(v) {
+				if a.To <= v || group[v] == group[a.To] {
+					continue
+				}
+				_ = b.AddEdge(group[v], group[a.To], a.W)
+			}
+		}
+		set.Levels = append(set.Levels, b.Build())
+	}
+	// Up-maps: follow any G0 member through the next level's grouping.
+	for i := 0; i+1 < levels; i++ {
+		// memberOf[x] = some G0 node inside hybrid-set node x at level i.
+		member := make([]int, set.Levels[i].NumNodes())
+		for x := range member {
+			member[x] = -1
+		}
+		for v0 := range assignAt[i] {
+			x := groupOf[i][assignAt[i][v0]]
+			if member[x] == -1 {
+				member[x] = v0
+			}
+		}
+		up := make([]int, set.Levels[i].NumNodes())
+		for x, m := range member {
+			if m == -1 {
+				return nil, fmt.Errorf("hybrid: set level %d node %d empty", i, x)
+			}
+			up[x] = groupOf[i+1][assignAt[i+1][m]]
+		}
+		set.Up = append(set.Up, up)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("hybrid: invalid set: %w", err)
+	}
+	return set, nil
+}
+
+// layoutScratch holds reusable state for cluster layout tests.
+type layoutScratch struct {
+	reads   []dna.Read
+	recs    []overlap.Record
+	inc     [][]int32
+	cfg     Config
+	inSet   []bool // membership bitmap, reset after each use
+	pos     []int
+	visited []bool
+}
+
+func newLayoutScratch(n int, reads []dna.Read, recs []overlap.Record, inc [][]int32, cfg Config) *layoutScratch {
+	return &layoutScratch{
+		reads: reads, recs: recs, inc: inc, cfg: cfg,
+		inSet: make([]bool, n), pos: make([]int, n), visited: make([]bool, n),
+	}
+}
+
+// tryLayout tests whether the cluster is linear (every overlap-implied
+// position is consistent and the cluster is one connected block) and, if
+// so, assembles its consensus contig.
+func (s *layoutScratch) tryLayout(members []int, level int) (Node, bool) {
+	if len(members) == 1 {
+		v := members[0]
+		return Node{
+			Level:   level,
+			Members: []int{v},
+			Contig:  append([]byte(nil), s.reads[v].Seq...),
+			Offsets: []int{0},
+		}, true
+	}
+	for _, m := range members {
+		s.inSet[m] = true
+	}
+	defer func() {
+		for _, m := range members {
+			s.inSet[m] = false
+			s.visited[m] = false
+		}
+	}()
+
+	// BFS position propagation from members[0].
+	start := members[0]
+	s.pos[start] = 0
+	s.visited[start] = true
+	queue := []int{start}
+	count := 1
+	ok := true
+	for len(queue) > 0 && ok {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ri := range s.inc[v] {
+			r := s.recs[ri]
+			// Position of B is always pos(A) + Diag.
+			var u int
+			var p int
+			if int(r.A) == v {
+				u = int(r.B)
+				p = s.pos[v] + int(r.Diag)
+			} else {
+				u = int(r.A)
+				p = s.pos[v] - int(r.Diag)
+			}
+			if !s.inSet[u] {
+				continue
+			}
+			if s.visited[u] {
+				d := s.pos[u] - p
+				if d < 0 {
+					d = -d
+				}
+				if d > s.cfg.PosTolerance {
+					ok = false // inconsistent layout: collapsed repeat
+					break
+				}
+				continue
+			}
+			s.visited[u] = true
+			s.pos[u] = p
+			queue = append(queue, u)
+			count++
+		}
+	}
+	if !ok || count != len(members) {
+		return Node{}, false // inconsistent or disconnected
+	}
+
+	// Normalize offsets and check the layout tiles one contiguous block.
+	minPos := s.pos[members[0]]
+	for _, m := range members {
+		if s.pos[m] < minPos {
+			minPos = s.pos[m]
+		}
+	}
+	type placed struct{ v, off int }
+	order := make([]placed, 0, len(members))
+	for _, m := range members {
+		order = append(order, placed{m, s.pos[m] - minPos})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].off != order[j].off {
+			return order[i].off < order[j].off
+		}
+		return order[i].v < order[j].v
+	})
+	end := 0
+	for _, p := range order {
+		if p.off > end {
+			return Node{}, false // gap in coverage
+		}
+		if e := p.off + len(s.reads[p.v].Seq); e > end {
+			end = e
+		}
+	}
+
+	// Anti-chimera check: every pair whose layout implies a substantial
+	// overlap must be backed by a real overlap record. A layout that
+	// jumps between copies of an exact repeat places divergent reads on
+	// top of each other without evidence; reject it.
+	hasRec := make(map[[2]int32]bool)
+	for _, m := range members {
+		for _, ri := range s.inc[m] {
+			r := s.recs[ri]
+			if s.inSet[r.A] && s.inSet[r.B] {
+				a, b := r.A, r.B
+				if a > b {
+					a, b = b, a
+				}
+				hasRec[[2]int32{a, b}] = true
+			}
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		endI := order[i].off + len(s.reads[order[i].v].Seq)
+		for j := i + 1; j < len(order); j++ {
+			if order[j].off > endI-s.cfg.RequireOverlap {
+				break // later reads overlap read i even less
+			}
+			endJ := order[j].off + len(s.reads[order[j].v].Seq)
+			implied := endI
+			if endJ < implied {
+				implied = endJ
+			}
+			implied -= order[j].off
+			if implied < s.cfg.RequireOverlap {
+				continue
+			}
+			a, b := int32(order[i].v), int32(order[j].v)
+			if a > b {
+				a, b = b, a
+			}
+			if !hasRec[[2]int32{a, b}] {
+				return Node{}, false
+			}
+		}
+	}
+
+	// Consensus by per-column majority vote.
+	counts := make([][4]int32, end)
+	for _, p := range order {
+		for i, b := range s.reads[p.v].Seq {
+			if c, ok := dna.BaseCode(b); ok {
+				counts[p.off+i][c]++
+			}
+		}
+	}
+	contig := make([]byte, end)
+	for i, c := range counts {
+		best := 0
+		for j := 1; j < 4; j++ {
+			if c[j] > c[best] {
+				best = j
+			}
+		}
+		if c[best] == 0 {
+			contig[i] = 'N'
+		} else {
+			contig[i] = dna.CodeBase(byte(best))
+		}
+	}
+
+	node := Node{Level: level, Members: make([]int, len(order)), Offsets: make([]int, len(order)), Contig: contig}
+	for i, p := range order {
+		node.Members[i] = p.v
+		node.Offsets[i] = p.off
+	}
+	return node, true
+}

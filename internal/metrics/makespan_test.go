@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func d(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+func TestMakespanBasics(t *testing.T) {
+	if Makespan(nil, 4) != 0 {
+		t.Error("empty tasks nonzero")
+	}
+	tasks := []time.Duration{d(10), d(20), d(30)}
+	if got := Makespan(tasks, 1); got != d(60) {
+		t.Errorf("1 worker: %v", got)
+	}
+	// LPT on 2 workers: 30 | 20+10 -> 30.
+	if got := Makespan(tasks, 2); got != d(30) {
+		t.Errorf("2 workers: %v", got)
+	}
+	// More workers than tasks: the longest task.
+	if got := Makespan(tasks, 10); got != d(30) {
+		t.Errorf("10 workers: %v", got)
+	}
+	// workers < 1 behaves like 1.
+	if got := Makespan(tasks, 0); got != d(60) {
+		t.Errorf("0 workers: %v", got)
+	}
+}
+
+func TestMakespanClassicLPT(t *testing.T) {
+	// LPT on {7,7,6,6,5,4} with 3 workers: 7+4 | 7+5 | 6+6 -> 12.
+	tasks := []time.Duration{d(7), d(7), d(6), d(6), d(5), d(4)}
+	if got := Makespan(tasks, 3); got != d(12) {
+		t.Errorf("got %v, want 12ms", got)
+	}
+}
+
+func TestMakespanDoesNotMutateInput(t *testing.T) {
+	tasks := []time.Duration{d(1), d(3), d(2)}
+	Makespan(tasks, 2)
+	if tasks[0] != d(1) || tasks[1] != d(3) || tasks[2] != d(2) {
+		t.Errorf("input mutated: %v", tasks)
+	}
+}
+
+// Properties: makespan is monotone in worker count, bounded below by both
+// max(task) and sum/workers, and bounded above by the serial sum.
+func TestMakespanQuick(t *testing.T) {
+	f := func(raw []uint16, wRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := int(wRaw)%16 + 1
+		tasks := make([]time.Duration, len(raw))
+		var sum, max time.Duration
+		for i, r := range raw {
+			tasks[i] = time.Duration(r) * time.Microsecond
+			sum += tasks[i]
+			if tasks[i] > max {
+				max = tasks[i]
+			}
+		}
+		ms := Makespan(tasks, w)
+		if ms < max || ms > sum {
+			return false
+		}
+		if ms < sum/time.Duration(w) {
+			return false
+		}
+		return Makespan(tasks, w+1) <= ms
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakespanRandomAgainstBruteForce(t *testing.T) {
+	// For 2 workers and few tasks, compare LPT against the optimum; LPT
+	// is within 7/6 of optimal (Graham's bound).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		tasks := make([]time.Duration, n)
+		var sum time.Duration
+		for i := range tasks {
+			tasks[i] = time.Duration(1+rng.Intn(50)) * time.Millisecond
+			sum += tasks[i]
+		}
+		// Brute-force optimum for 2 machines via subset enumeration.
+		best := sum
+		for mask := 0; mask < 1<<n; mask++ {
+			var a time.Duration
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					a += tasks[i]
+				}
+			}
+			b := sum - a
+			m := a
+			if b > m {
+				m = b
+			}
+			if m < best {
+				best = m
+			}
+		}
+		got := Makespan(tasks, 2)
+		if got < best {
+			t.Fatalf("makespan %v below optimum %v", got, best)
+		}
+		if float64(got) > float64(best)*7.0/6.0+1 {
+			t.Fatalf("LPT bound violated: %v vs optimum %v", got, best)
+		}
+	}
+}

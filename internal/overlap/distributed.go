@@ -1,0 +1,109 @@
+package overlap
+
+import (
+	"sort"
+
+	"focus/internal/dist"
+	"focus/internal/dna"
+)
+
+// The paper distributes read alignment itself: "each pair of read subsets
+// can be sent to a different processor for independent analysis" (§II.B).
+// This file provides that mode: subset-pair jobs are executed by RPC
+// workers (the same pool that later runs the distributed graph
+// algorithms) instead of local goroutines.
+
+// AlignPairArgs ships one subset-pair job to a worker: the reference
+// subset to index and the query subset to decompose into k-mers. IDs are
+// the reads' global indices so returned records need no translation.
+type AlignPairArgs struct {
+	RefIDs    []int32
+	RefSeqs   [][]byte
+	QueryIDs  []int32
+	QuerySeqs [][]byte
+	Cfg       Config
+}
+
+// AlignPairReply returns the accepted overlap records of one job.
+type AlignPairReply struct{ Records []Record }
+
+// AlignPair executes one job (the worker half; assembly.Service exposes
+// it over RPC).
+func AlignPair(args *AlignPairArgs) []Record {
+	ref := buildIndex(args.RefSeqs, args.RefIDs)
+	refSeq := make(map[int32][]byte, len(args.RefIDs))
+	for i, id := range args.RefIDs {
+		refSeq[id] = args.RefSeqs[i]
+	}
+	return alignQueries(args.QueryIDs, args.QuerySeqs, ref, func(id int32) []byte { return refSeq[id] }, args.Cfg)
+}
+
+// FindOverlapsDistributed is FindOverlaps with the subset-pair jobs
+// round-robined over the worker pool. It produces exactly the records of
+// the local version for the same subset count.
+func FindOverlapsDistributed(pool *dist.Pool, reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
+	if err := validate(cfg, subsets); err != nil {
+		return nil, err
+	}
+	bounds := make([]int, subsets+1)
+	for i := 0; i <= subsets; i++ {
+		bounds[i] = i * len(reads) / subsets
+	}
+	slice := func(s int) ([]int32, [][]byte) {
+		ids := make([]int32, 0, bounds[s+1]-bounds[s])
+		seqs := make([][]byte, 0, bounds[s+1]-bounds[s])
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			ids = append(ids, int32(i))
+			seqs = append(seqs, reads[i].Seq)
+		}
+		return ids, seqs
+	}
+	type pair struct{ q, r int }
+	var jobs []pair
+	for i := 0; i < subsets; i++ {
+		for j := i; j < subsets; j++ {
+			jobs = append(jobs, pair{i, j})
+		}
+	}
+	replies := make([]interface{}, len(jobs))
+	for i := range replies {
+		replies[i] = &AlignPairReply{}
+	}
+	_, err := pool.ParallelCalls(len(jobs), "AlignPair", func(t int) interface{} {
+		qIDs, qSeqs := slice(jobs[t].q)
+		rIDs, rSeqs := slice(jobs[t].r)
+		return &AlignPairArgs{RefIDs: rIDs, RefSeqs: rSeqs, QueryIDs: qIDs, QuerySeqs: qSeqs, Cfg: cfg}
+	}, replies)
+	if err != nil {
+		return nil, err
+	}
+	var lists [][]Record
+	for _, r := range replies {
+		lists = append(lists, r.(*AlignPairReply).Records)
+	}
+	return mergeRecords(lists), nil
+}
+
+// mergeRecords canonicalizes, deduplicates and sorts per-job record
+// lists.
+func mergeRecords(lists [][]Record) []Record {
+	seen := make(map[int64]struct{})
+	var out []Record
+	for _, rs := range lists {
+		for _, rec := range rs {
+			key := int64(rec.A)<<32 | int64(rec.B)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,90 @@
+package overlap
+
+import (
+	"testing"
+
+	"focus/internal/dist"
+)
+
+// alignService exposes AlignPair for the distributed tests without
+// importing the assembly package (which would cycle).
+type alignService struct{}
+
+func (s *alignService) AlignPair(args *AlignPairArgs, reply *AlignPairReply) error {
+	reply.Records = AlignPair(args)
+	return nil
+}
+
+func newAlignService() interface{} { return &alignService{} }
+
+func TestFindOverlapsDistributedMatchesLocal(t *testing.T) {
+	genome := randGenome(150, 2500)
+	reads := tilingReads(genome, 100, 35)
+	cfg := testConfig()
+
+	for _, subsets := range []int{1, 3} {
+		local, err := FindOverlaps(reads, subsets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := dist.NewLocalPool(2, newAlignService)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := FindOverlapsDistributed(pool, reads, subsets, cfg)
+		pool.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(remote) != len(local) {
+			t.Fatalf("subsets=%d: %d distributed records vs %d local", subsets, len(remote), len(local))
+		}
+		for i := range local {
+			if remote[i] != local[i] {
+				t.Fatalf("subsets=%d record %d: %+v vs %+v", subsets, i, remote[i], local[i])
+			}
+		}
+	}
+}
+
+func TestFindOverlapsDistributedValidation(t *testing.T) {
+	pool, err := dist.NewLocalPool(1, newAlignService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	cfg := testConfig()
+	cfg.K = 0
+	if _, err := FindOverlapsDistributed(pool, nil, 2, cfg); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FindOverlapsDistributed(pool, nil, 0, testConfig()); err == nil {
+		t.Error("0 subsets accepted")
+	}
+}
+
+func TestAlignPairDirect(t *testing.T) {
+	genome := randGenome(151, 600)
+	reads := tilingReads(genome, 100, 50)
+	var ids []int32
+	var seqs [][]byte
+	for i, r := range reads {
+		ids = append(ids, int32(i))
+		seqs = append(seqs, r.Seq)
+	}
+	recs := AlignPair(&AlignPairArgs{
+		RefIDs: ids, RefSeqs: seqs,
+		QueryIDs: ids, QuerySeqs: seqs,
+		Cfg: testConfig(),
+	})
+	// Consecutive reads overlap by 50 bp: all must be found.
+	found := map[[2]int32]bool{}
+	for _, r := range recs {
+		found[[2]int32{r.A, r.B}] = true
+	}
+	for i := 0; i+1 < len(reads); i++ {
+		if !found[[2]int32{int32(i), int32(i + 1)}] {
+			t.Fatalf("missing overlap %d-%d", i, i+1)
+		}
+	}
+}

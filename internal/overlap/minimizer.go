@@ -1,0 +1,100 @@
+package overlap
+
+import "focus/internal/dna"
+
+// Seeding selects how query k-mers are sampled before index lookup.
+type Seeding uint8
+
+const (
+	// SeedStep samples every Step-th k-mer (the default; simple but two
+	// reads can miss each other's sample grid).
+	SeedStep Seeding = iota
+	// SeedMinimizer samples (w,k)-minimizers: the minimal (hashed) k-mer
+	// of every window of w consecutive k-mers. Any two reads sharing an
+	// exact stretch of w+k-1 bases are guaranteed to share a seed, with
+	// ~2/(w+1) of positions sampled — usually fewer lookups than stepped
+	// sampling at equal or better recall.
+	SeedMinimizer
+)
+
+// mixKmer decorrelates k-mer values from sequence content (otherwise
+// poly-A k-mers would win every window). Invertible 64-bit mix
+// (splitmix64 finalizer).
+func mixKmer(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// minimizerOffsets returns the sorted distinct offsets of the
+// (w,k)-minimizers of seq. Windows containing N are handled by the k-mer
+// iterator (N-spanning k-mers never become minimizers).
+func minimizerOffsets(seq []byte, k, w int) []int {
+	if w < 1 {
+		w = 1
+	}
+	type km struct {
+		off  int
+		hash uint64
+	}
+	var kms []km
+	it := dna.NewKmerIter(seq, k)
+	for {
+		v, off, ok := it.Next()
+		if !ok {
+			break
+		}
+		kms = append(kms, km{off: off, hash: mixKmer(uint64(v))})
+	}
+	if len(kms) == 0 {
+		return nil
+	}
+	var out []int
+	last := -1
+	// Sliding window minimum via simple scan: windows are short (w ~ 8),
+	// so the O(n*w) scan beats a deque in practice at these sizes.
+	for start := 0; start+w <= len(kms); start++ {
+		min := start
+		for j := start + 1; j < start+w; j++ {
+			if kms[j].hash < kms[min].hash {
+				min = j
+			}
+		}
+		if kms[min].off != last {
+			out = append(out, kms[min].off)
+			last = kms[min].off
+		}
+	}
+	if len(out) == 0 { // fewer than w k-mers: take the global minimum
+		min := 0
+		for j := 1; j < len(kms); j++ {
+			if kms[j].hash < kms[min].hash {
+				min = j
+			}
+		}
+		out = append(out, kms[min].off)
+	}
+	return out
+}
+
+// seedOffsets returns the query offsets to look up for one read under the
+// configured seeding mode. Returns nil for SeedStep, which the caller
+// implements inline (it needs no precomputation).
+func seedOffsets(seq []byte, cfg Config) map[int]bool {
+	if cfg.Seeding != SeedMinimizer {
+		return nil
+	}
+	w := cfg.MinimizerW
+	if w <= 0 {
+		w = 8
+	}
+	offs := minimizerOffsets(seq, cfg.K, w)
+	set := make(map[int]bool, len(offs))
+	for _, o := range offs {
+		set[o] = true
+	}
+	return set
+}

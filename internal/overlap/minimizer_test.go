@@ -1,0 +1,138 @@
+package overlap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"focus/internal/align"
+)
+
+func TestMinimizerOffsetsProperties(t *testing.T) {
+	k, w := 11, 8
+	f := func(raw []byte) bool {
+		if len(raw) < k {
+			return true
+		}
+		seq := make([]byte, len(raw))
+		for i, b := range raw {
+			seq[i] = "ACGT"[b&3]
+		}
+		offs := minimizerOffsets(seq, k, w)
+		if len(offs) == 0 {
+			return false // any N-free sequence with >= 1 k-mer has a minimizer
+		}
+		// Sorted, distinct, in range.
+		for i, o := range offs {
+			if o < 0 || o+k > len(seq) {
+				return false
+			}
+			if i > 0 && offs[i] <= offs[i-1] {
+				return false
+			}
+		}
+		// Coverage guarantee: every window of w consecutive k-mers
+		// contains a selected offset.
+		numKmers := len(seq) - k + 1
+		if numKmers >= w {
+			set := map[int]bool{}
+			for _, o := range offs {
+				set[o] = true
+			}
+			for start := 0; start+w <= numKmers; start++ {
+				found := false
+				for j := start; j < start+w; j++ {
+					if set[j] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizerDeterministicAndShared(t *testing.T) {
+	genome := randGenome(500, 800)
+	a := minimizerOffsets(genome, 15, 8)
+	b := minimizerOffsets(genome, 15, 8)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+	// Two reads sharing a long exact region share minimizers inside it:
+	// read1 = genome[100:300], read2 = genome[150:350].
+	m1 := minimizerOffsets(genome[100:300], 15, 8)
+	m2 := minimizerOffsets(genome[150:350], 15, 8)
+	shared := 0
+	set := map[int]bool{}
+	for _, o := range m1 {
+		set[100+o] = true // genome coordinates
+	}
+	for _, o := range m2 {
+		if set[150+o] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("overlapping reads share no minimizers")
+	}
+}
+
+func TestFindOverlapsWithMinimizers(t *testing.T) {
+	genome := randGenome(501, 2000)
+	reads := tilingReads(genome, 100, 40)
+	cfg := testConfig()
+	cfg.Seeding = SeedMinimizer
+	cfg.MinimizerW = 8
+	recs, err := FindOverlaps(reads, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[[2]int32]Record{}
+	for _, r := range recs {
+		found[[2]int32{r.A, r.B}] = r
+	}
+	// Consecutive reads overlap by 60 bp: minimizer seeding must find
+	// them all (shared exact region >> w+k-1).
+	for i := 0; i+1 < len(reads); i++ {
+		r, ok := found[[2]int32{int32(i), int32(i + 1)}]
+		if !ok {
+			t.Fatalf("missing overlap %d-%d under minimizer seeding", i, i+1)
+		}
+		if r.Kind != align.KindSuffixPrefix || r.Len != 60 {
+			t.Fatalf("record %d-%d = %+v", i, i+1, r)
+		}
+	}
+}
+
+func TestMinimizerSeedingMatchesStepRecall(t *testing.T) {
+	// On error-bearing simulated reads, minimizers should find at least
+	// as many overlaps per lookup; here just check total recall within a
+	// few percent of stepped sampling.
+	genome := randGenome(502, 3000)
+	reads := tilingReads(genome, 100, 25)
+	base, err := FindOverlaps(reads, 2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Seeding = SeedMinimizer
+	mini, err := FindOverlaps(reads, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mini) < len(base)*95/100 {
+		t.Errorf("minimizer recall %d vs stepped %d", len(mini), len(base))
+	}
+}

@@ -1,0 +1,300 @@
+// Package overlap implements the Focus parallel read alignment stage
+// (paper §II.B): read subsets are paired, each reference subset is indexed
+// by a suffix array, query reads are decomposed into k-mers, reference
+// reads collecting enough k-mer hits are aligned with banded
+// Needleman–Wunsch, and accepted overlaps are recorded as the edge list of
+// the overlap graph G0.
+package overlap
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"focus/internal/align"
+	"focus/internal/dna"
+	"focus/internal/graph"
+	"focus/internal/suffixarray"
+)
+
+// Record is one accepted overlap between reads A and B (indices into the
+// preprocessed read set). For Kind == SuffixPrefix, A precedes B; for
+// PrefixSuffix, B precedes A; containment kinds mark redundant reads.
+type Record struct {
+	A, B     int32
+	Kind     align.Kind
+	Len      int32
+	Identity float32
+	Diag     int32 // offset of B's start in A coordinates
+}
+
+// Config controls overlap detection.
+type Config struct {
+	K           int // seed k-mer length
+	Step        int // distance between sampled query k-mers (1 = every k-mer)
+	MinKmerHits int // hits a reference read needs before alignment is tried
+	MaxOccur    int // ignore k-mers occurring more often in a subset (repeat masking); <=0 = unlimited
+	Align       align.Config
+	Workers     int // concurrent subset-pair jobs; <=0 = GOMAXPROCS
+	// Seeding selects the query sampling strategy; SeedMinimizer uses
+	// (MinimizerW, K)-minimizers instead of every Step-th k-mer.
+	Seeding    Seeding
+	MinimizerW int // minimizer window in k-mers (default 8)
+}
+
+// DefaultConfig returns a configuration tuned for 100 bp reads, with the
+// paper's acceptance thresholds (50 bp, 90% identity).
+func DefaultConfig() Config {
+	return Config{
+		K:           16,
+		Step:        4,
+		MinKmerHits: 2,
+		MaxOccur:    64,
+		Align:       align.DefaultConfig(),
+		Workers:     0,
+	}
+}
+
+// subsetIndex is a suffix-array index over the concatenation of one read
+// subset, with '#' separators so matches cannot span reads.
+type subsetIndex struct {
+	sa *suffixarray.Array
+	// starts[i] is the offset of read i (subset-local) in the text;
+	// reads[i] is its global read index.
+	starts []int
+	reads  []int32
+}
+
+func buildIndex(readSeqs [][]byte, global []int32) *subsetIndex {
+	total := 0
+	for _, s := range readSeqs {
+		total += len(s) + 1
+	}
+	text := make([]byte, 0, total)
+	idx := &subsetIndex{reads: global}
+	for _, s := range readSeqs {
+		idx.starts = append(idx.starts, len(text))
+		text = append(text, s...)
+		text = append(text, '#')
+	}
+	idx.sa = suffixarray.New(text)
+	return idx
+}
+
+// locate maps a text position to (subset-local read, offset within read).
+func (ix *subsetIndex) locate(pos int) (read, off int) {
+	i := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] > pos }) - 1
+	return i, pos - ix.starts[i]
+}
+
+// FindOverlaps detects all pairwise overlaps in reads, processing
+// subset pairs in parallel. Records are canonicalized (A < B) and
+// deduplicated, and returned sorted by (A, B).
+func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
+	if err := validate(cfg, subsets); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Assign reads to contiguous subsets.
+	bounds := make([]int, subsets+1)
+	for i := 0; i <= subsets; i++ {
+		bounds[i] = i * len(reads) / subsets
+	}
+	seqOf := func(i int32) []byte { return reads[i].Seq }
+
+	// Build one index per subset (reused across pair jobs).
+	indexes := make([]*subsetIndex, subsets)
+	var iwg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for s := 0; s < subsets; s++ {
+		iwg.Add(1)
+		go func(s int) {
+			defer iwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var seqs [][]byte
+			var global []int32
+			for i := bounds[s]; i < bounds[s+1]; i++ {
+				seqs = append(seqs, reads[i].Seq)
+				global = append(global, int32(i))
+			}
+			indexes[s] = buildIndex(seqs, global)
+		}(s)
+	}
+	iwg.Wait()
+
+	type pair struct{ q, r int }
+	var jobs []pair
+	for i := 0; i < subsets; i++ {
+		for j := i; j < subsets; j++ {
+			jobs = append(jobs, pair{i, j})
+		}
+	}
+
+	results := make([][]Record, len(jobs))
+	var wg sync.WaitGroup
+	jobCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jid := range jobCh {
+				j := jobs[jid]
+				results[jid] = alignSubsetPair(bounds[j.q], bounds[j.q+1], indexes[j.r], seqOf, cfg)
+			}
+		}()
+	}
+	for jid := range jobs {
+		jobCh <- jid
+	}
+	close(jobCh)
+	wg.Wait()
+
+	return mergeRecords(results), nil
+}
+
+// validate checks the configuration shared by the local and distributed
+// drivers.
+func validate(cfg Config, subsets int) error {
+	if cfg.K <= 0 || cfg.K > dna.MaxK {
+		return fmt.Errorf("overlap: k=%d out of range", cfg.K)
+	}
+	if subsets <= 0 {
+		return fmt.Errorf("overlap: %d subsets", subsets)
+	}
+	return nil
+}
+
+// alignSubsetPair aligns every query read in [qLo,qHi) against the
+// reference index, returning canonicalized records.
+func alignSubsetPair(qLo, qHi int, ref *subsetIndex, seqOf func(int32) []byte, cfg Config) []Record {
+	ids := make([]int32, 0, qHi-qLo)
+	seqs := make([][]byte, 0, qHi-qLo)
+	for q := qLo; q < qHi; q++ {
+		ids = append(ids, int32(q))
+		seqs = append(seqs, seqOf(int32(q)))
+	}
+	return alignQueries(ids, seqs, ref, seqOf, cfg)
+}
+
+// alignQueries aligns the given query reads against the reference index,
+// returning canonicalized records. refSeq resolves a global read id from
+// the index back to its sequence.
+func alignQueries(queryIDs []int32, querySeqs [][]byte, ref *subsetIndex, refSeq func(int32) []byte, cfg Config) []Record {
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	var out []Record
+	// votes per candidate reference read: modal diagonal estimation.
+	type cand struct {
+		hits int
+		diag map[int]int
+	}
+	for qi2, qi := range queryIDs {
+		qseq := querySeqs[qi2]
+		cands := map[int32]*cand{}
+		selected := seedOffsets(qseq, cfg)
+		it := dna.NewKmerIter(qseq, cfg.K)
+		next := 0
+		for {
+			km, off, ok := it.Next()
+			if !ok {
+				break
+			}
+			if selected != nil {
+				if !selected[off] {
+					continue
+				}
+			} else if off < next {
+				continue
+			}
+			next = off + cfg.Step
+			pat := []byte(km.String(cfg.K))
+			maxHits := -1
+			if cfg.MaxOccur > 0 {
+				maxHits = cfg.MaxOccur + 1
+			}
+			hits := ref.sa.Lookup(pat, maxHits)
+			if cfg.MaxOccur > 0 && len(hits) > cfg.MaxOccur {
+				continue // repeat-masked seed
+			}
+			for _, pos := range hits {
+				lr, loff := ref.locate(pos)
+				g := ref.reads[lr]
+				if g == qi {
+					continue
+				}
+				c := cands[g]
+				if c == nil {
+					c = &cand{diag: map[int]int{}}
+					cands[g] = c
+				}
+				c.hits++
+				// diag: offset of reference read start in query coords.
+				c.diag[off-loff]++
+			}
+		}
+		for g, c := range cands {
+			if c.hits < cfg.MinKmerHits {
+				continue
+			}
+			// Only emit canonical direction to halve the work; the pair
+			// (g, q) will not be separately attempted because dedup is on
+			// canonical (A,B) anyway, and alignment is symmetric.
+			diag := 0
+			best := -1
+			for d, n := range c.diag {
+				if n > best || (n == best && d < diag) {
+					best, diag = n, d
+				}
+			}
+			ov, ok := align.OverlapOnDiagonal(qseq, refSeq(g), diag, cfg.Align)
+			if !ok {
+				continue
+			}
+			rec := Record{A: qi, B: g, Kind: ov.Kind, Len: int32(ov.Length), Identity: float32(ov.Identity), Diag: int32(ov.Diag)}
+			if rec.A > rec.B {
+				rec = rec.Flip()
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Flip returns the record with A and B exchanged and the geometry
+// re-expressed from the new A's point of view.
+func (r Record) Flip() Record {
+	f := Record{A: r.B, B: r.A, Len: r.Len, Identity: r.Identity, Diag: -r.Diag}
+	switch r.Kind {
+	case align.KindSuffixPrefix:
+		f.Kind = align.KindPrefixSuffix
+	case align.KindPrefixSuffix:
+		f.Kind = align.KindSuffixPrefix
+	case align.KindAContainsB:
+		f.Kind = align.KindBContainsA
+	case align.KindBContainsA:
+		f.Kind = align.KindAContainsB
+	default:
+		f.Kind = r.Kind
+	}
+	return f
+}
+
+// BuildGraph constructs the overlap graph G0 from the records: one node
+// per read, one edge per overlap, weighted by alignment length
+// (paper §II.C).
+func BuildGraph(numReads int, records []Record) (*graph.Graph, error) {
+	b := graph.NewBuilder(numReads)
+	for _, r := range records {
+		if err := b.AddEdge(int(r.A), int(r.B), int64(r.Len)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,221 @@
+package partition
+
+import (
+	"container/heap"
+
+	"focus/internal/graph"
+	"focus/internal/pq"
+)
+
+// klBisect refines the bisection {la, lb} of g with the Kernighan–Lin
+// pair-swap algorithm of paper §IV.B: nodes are kept in two priority
+// queues ordered by D value (external minus internal cost), candidate
+// pairs are enumerated by diagonal scanning in decreasing D_a + D_b until
+// the bound D_a + D_b <= gmax proves no better pair exists, the best pair
+// is swapped and locked, and the move sequence is truncated at its maximal
+// partial gain sum. Passes repeat until no positive improvement remains.
+// Edges to nodes labeled neither la nor lb are cut regardless of the
+// refinement and are ignored. Returns the total edge-cut improvement.
+func klBisect(g *graph.Graph, labels []int32, la, lb int32, opt Options) int64 {
+	var total int64
+	for {
+		improved := klPass(g, labels, la, lb, opt)
+		total += improved
+		if improved <= 0 {
+			return total
+		}
+	}
+}
+
+// dValues computes D_v = E_v - I_v for every node in {la, lb}.
+func dValues(g *graph.Graph, labels []int32, la, lb int32) map[int]int64 {
+	d := make(map[int]int64)
+	for v := range labels {
+		if labels[v] != la && labels[v] != lb {
+			continue
+		}
+		var e, i int64
+		for _, a := range g.Adj(v) {
+			switch labels[a.To] {
+			case labels[v]:
+				i += a.W
+			case la, lb:
+				e += a.W
+			}
+		}
+		d[v] = e - i
+	}
+	return d
+}
+
+// pairHeap enumerates index pairs (i, j) in decreasing key order.
+type pairItem struct {
+	i, j int
+	key  int64
+}
+type pairHeap []pairItem
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairItem)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// klPass performs one KL pass and returns the realized improvement.
+func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options) int64 {
+	d := dValues(g, labels, la, lb)
+	qa, qb := pq.NewMax(len(d)), pq.NewMax(len(d))
+	for v, dv := range d {
+		if labels[v] == la {
+			qa.Push(v, dv)
+		} else {
+			qb.Push(v, dv)
+		}
+	}
+	if qa.Len() == 0 || qb.Len() == 0 {
+		return 0
+	}
+
+	type move struct{ a, b int }
+	var moves []move
+	var cum, smax int64
+	bestPrefix := 0
+	sinceImprove := 0
+	earlyStop := opt.EarlyStop
+	if earlyStop <= 0 {
+		earlyStop = 50
+	}
+
+	// Scratch buffers for the lazy diagonal scan.
+	var listA, listB []int // drained ids in descending D order
+
+	for qa.Len() > 0 && qb.Len() > 0 {
+		a, b, gain, ok := selectSwap(g, d, qa, qb, &listA, &listB)
+		if !ok {
+			break
+		}
+		// Swap and lock.
+		labels[a], labels[b] = lb, la
+		qa.Remove(a)
+		qb.Remove(b)
+		// Update D of unlocked nodes adjacent to a or b. Moving a from
+		// la to lb changes, for an unlocked v in la: D_v += 2w(v,a);
+		// in lb: D_v -= 2w(v,a). Symmetrically for b.
+		update := func(moved int, from int32) {
+			for _, arc := range g.Adj(moved) {
+				v := arc.To
+				if _, unlocked := d[v]; !unlocked {
+					continue
+				}
+				if !qa.Contains(v) && !qb.Contains(v) {
+					continue // locked
+				}
+				var delta int64
+				if labels[v] == from {
+					delta = 2 * arc.W
+				} else if labels[v] == la || labels[v] == lb {
+					delta = -2 * arc.W
+				} else {
+					continue
+				}
+				d[v] += delta
+				if qa.Contains(v) {
+					qa.Update(v, d[v])
+				} else {
+					qb.Update(v, d[v])
+				}
+			}
+		}
+		update(a, la)
+		update(b, lb)
+
+		moves = append(moves, move{a, b})
+		cum += gain
+		if cum > smax {
+			smax = cum
+			bestPrefix = len(moves)
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+			if sinceImprove >= earlyStop {
+				break
+			}
+		}
+	}
+
+	// Undo moves after the maximal partial sum (all of them if smax <= 0).
+	if smax <= 0 {
+		bestPrefix = 0
+		smax = 0
+	}
+	for i := len(moves) - 1; i >= bestPrefix; i-- {
+		labels[moves[i].a], labels[moves[i].b] = la, lb
+	}
+	return smax
+}
+
+// selectSwap picks the unlocked pair (a in qa, b in qb) with the maximal
+// swap gain D_a + D_b - 2w(a,b), using the diagonal scan over pairs in
+// decreasing D_a + D_b; the scan stops once D_a + D_b <= gmax, which
+// bounds every remaining pair's gain. Drained queue entries are pushed
+// back before returning.
+func selectSwap(g *graph.Graph, d map[int]int64, qa, qb *pq.Max, listA, listB *[]int) (a, b int, gain int64, ok bool) {
+	*listA = (*listA)[:0]
+	*listB = (*listB)[:0]
+	ensure := func(q *pq.Max, list *[]int, n int) bool {
+		for len(*list) <= n {
+			id, _, ok := q.Pop()
+			if !ok {
+				return false
+			}
+			*list = append(*list, id)
+		}
+		return true
+	}
+	defer func() {
+		// Push drained entries back (minus the selected pair, removed by
+		// the caller afterwards — so push all back here; caller removes).
+		for _, v := range *listA {
+			qa.Push(v, d[v])
+		}
+		for _, v := range *listB {
+			qb.Push(v, d[v])
+		}
+	}()
+
+	if !ensure(qa, listA, 0) || !ensure(qb, listB, 0) {
+		return 0, 0, 0, false
+	}
+	var h pairHeap
+	seen := map[[2]int]bool{{0, 0}: true}
+	heap.Push(&h, pairItem{0, 0, d[(*listA)[0]] + d[(*listB)[0]]})
+	bestGain := int64(0)
+	found := false
+	for h.Len() > 0 {
+		top := heap.Pop(&h).(pairItem)
+		if found && top.key <= bestGain {
+			break // no remaining pair can beat bestGain
+		}
+		va, vb := (*listA)[top.i], (*listB)[top.j]
+		gnow := top.key - 2*g.EdgeWeight(va, vb)
+		if !found || gnow > bestGain {
+			found, bestGain, a, b = true, gnow, va, vb
+		}
+		// Expand the frontier.
+		if ensure(qa, listA, top.i+1) && !seen[[2]int{top.i + 1, top.j}] {
+			seen[[2]int{top.i + 1, top.j}] = true
+			heap.Push(&h, pairItem{top.i + 1, top.j, d[(*listA)[top.i+1]] + d[(*listB)[top.j]]})
+		}
+		if ensure(qb, listB, top.j+1) && !seen[[2]int{top.i, top.j + 1}] {
+			seen[[2]int{top.i, top.j + 1}] = true
+			heap.Push(&h, pairItem{top.i, top.j + 1, d[(*listA)[top.i]] + d[(*listB)[top.j+1]]})
+		}
+	}
+	return a, b, bestGain, found
+}

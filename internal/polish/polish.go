@@ -1,0 +1,127 @@
+// Package polish corrects contig consensus errors by realigning reads:
+// every read is anchored on a contig by unique k-mers, its bases vote at
+// the aligned positions, and columns where a well-supported majority
+// disagrees with the contig are corrected. This is the standard final
+// assembler stage (Pilon-style), applied to the contigs the distributed
+// traversal produced.
+package polish
+
+import (
+	"fmt"
+
+	"focus/internal/anchor"
+	"focus/internal/dna"
+)
+
+// Config controls polishing.
+type Config struct {
+	K int // anchor k-mer size
+	// MinDepth is the minimum vote depth at a column before it may be
+	// corrected.
+	MinDepth int
+	// MinMajority is the minimum fraction of votes the winning base needs
+	// to overwrite the contig base.
+	MinMajority float64
+	// MinVotes is the anchor support a read needs to be placed.
+	MinVotes int
+}
+
+// DefaultConfig returns polishing defaults for ~10x read sets.
+func DefaultConfig() Config {
+	return Config{K: 21, MinDepth: 3, MinMajority: 0.7, MinVotes: 2}
+}
+
+// Stats reports what polishing did.
+type Stats struct {
+	PlacedReads   int
+	UnplacedReads int
+	Corrections   int
+	ColumnsVoted  int
+}
+
+// Polish returns corrected copies of the contigs. Reads may come from
+// either strand; reverse-placed reads vote with complemented bases.
+func Polish(contigs [][]byte, reads []dna.Read, cfg Config) ([][]byte, Stats, error) {
+	var st Stats
+	if cfg.K <= 0 || cfg.K > dna.MaxK {
+		return nil, st, fmt.Errorf("polish: k=%d out of range", cfg.K)
+	}
+	if cfg.MinDepth < 1 {
+		cfg.MinDepth = 1
+	}
+	if cfg.MinMajority <= 0.5 {
+		cfg.MinMajority = 0.5
+	}
+	ix, err := anchor.New(contigs, nil, cfg.K)
+	if err != nil {
+		return nil, st, err
+	}
+
+	// votes[c][pos][base]
+	votes := make([][][4]int32, len(contigs))
+	for i, c := range contigs {
+		votes[i] = make([][4]int32, len(c))
+	}
+	for _, r := range reads {
+		hit, ok := ix.Place(r.Seq, cfg.MinVotes)
+		if !ok {
+			st.UnplacedReads++
+			continue
+		}
+		st.PlacedReads++
+		target := votes[hit.Seq]
+		if hit.Forward {
+			for j, b := range r.Seq {
+				p := int(hit.Pos) + j
+				if p < 0 || p >= len(target) {
+					continue
+				}
+				if code, ok := dna.BaseCode(b); ok {
+					target[p][code]++
+				}
+			}
+		} else {
+			// Reverse placement: read base j sits at pos+len-1-j and
+			// votes its complement.
+			n := len(r.Seq)
+			for j, b := range r.Seq {
+				p := int(hit.Pos) + n - 1 - j
+				if p < 0 || p >= len(target) {
+					continue
+				}
+				if code, ok := dna.BaseCode(dna.Complement(b)); ok {
+					target[p][code]++
+				}
+			}
+		}
+	}
+
+	out := make([][]byte, len(contigs))
+	for ci, c := range contigs {
+		nc := append([]byte(nil), c...)
+		for p := range nc {
+			v := votes[ci][p]
+			depth := v[0] + v[1] + v[2] + v[3]
+			if depth == 0 {
+				continue
+			}
+			st.ColumnsVoted++
+			if int(depth) < cfg.MinDepth {
+				continue
+			}
+			best := 0
+			for b := 1; b < 4; b++ {
+				if v[b] > v[best] {
+					best = b
+				}
+			}
+			winner := dna.CodeBase(byte(best))
+			if winner != nc[p] && float64(v[best]) >= cfg.MinMajority*float64(depth) {
+				nc[p] = winner
+				st.Corrections++
+			}
+		}
+		out[ci] = nc
+	}
+	return out, st, nil
+}

@@ -1,0 +1,161 @@
+package polish
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"focus/internal/dna"
+)
+
+func randGenome(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = "ACGT"[rng.Intn(4)]
+	}
+	return g
+}
+
+func tiling(genome []byte, l, s int, rc bool, rng *rand.Rand) []dna.Read {
+	var reads []dna.Read
+	for pos := 0; pos+l <= len(genome); pos += s {
+		seq := append([]byte(nil), genome[pos:pos+l]...)
+		if rc && rng.Intn(2) == 1 {
+			dna.ReverseComplementInPlace(seq)
+		}
+		reads = append(reads, dna.Read{ID: "t", Seq: seq})
+	}
+	return reads
+}
+
+func TestPolishFixesPlantedErrors(t *testing.T) {
+	genome := randGenome(20, 4000)
+	rng := rand.New(rand.NewSource(21))
+	reads := tiling(genome, 100, 12, true, rng)
+
+	// Contig = genome with 15 planted errors.
+	contig := append([]byte(nil), genome...)
+	errPos := map[int]bool{}
+	for i := 0; i < 15; i++ {
+		p := 100 + rng.Intn(len(contig)-200)
+		if errPos[p] {
+			continue
+		}
+		errPos[p] = true
+		b := contig[p]
+		for b == contig[p] {
+			b = "ACGT"[rng.Intn(4)]
+		}
+		contig[p] = b
+	}
+
+	polished, st, err := Polish([][]byte{contig}, reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(polished[0], genome) {
+		diff := 0
+		for i := range genome {
+			if polished[0][i] != genome[i] {
+				diff++
+			}
+		}
+		t.Fatalf("%d bases still differ after polishing (stats %+v)", diff, st)
+	}
+	if st.Corrections < len(errPos) {
+		t.Errorf("corrections = %d, planted %d", st.Corrections, len(errPos))
+	}
+	if st.PlacedReads == 0 || st.UnplacedReads > st.PlacedReads/4 {
+		t.Errorf("placement stats %+v", st)
+	}
+}
+
+func TestPolishLeavesCorrectContigAlone(t *testing.T) {
+	genome := randGenome(22, 3000)
+	rng := rand.New(rand.NewSource(23))
+	reads := tiling(genome, 100, 15, true, rng)
+	polished, st, err := Polish([][]byte{genome}, reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(polished[0], genome) {
+		t.Fatal("correct contig modified")
+	}
+	if st.Corrections != 0 {
+		t.Errorf("corrections = %d on a correct contig", st.Corrections)
+	}
+}
+
+func TestPolishRobustToReadErrors(t *testing.T) {
+	// Reads with 1% random errors must not corrupt a correct contig.
+	genome := randGenome(24, 3000)
+	rng := rand.New(rand.NewSource(25))
+	var reads []dna.Read
+	for pos := 0; pos+100 <= len(genome); pos += 8 {
+		seq := append([]byte(nil), genome[pos:pos+100]...)
+		for j := range seq {
+			if rng.Float64() < 0.01 {
+				seq[j] = "ACGT"[rng.Intn(4)]
+			}
+		}
+		reads = append(reads, dna.Read{ID: "e", Seq: seq})
+	}
+	polished, st, err := Polish([][]byte{genome}, reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(polished[0], genome) {
+		t.Errorf("noisy reads corrupted a correct contig (stats %+v)", st)
+	}
+}
+
+func TestPolishRespectsMinDepth(t *testing.T) {
+	genome := randGenome(26, 2000)
+	contig := append([]byte(nil), genome...)
+	contig[1000] = dna.Complement(contig[1000]) // one planted error
+	// Single read covering the error: below MinDepth 3, no correction.
+	reads := []dna.Read{{ID: "r", Seq: genome[950:1050]}}
+	polished, st, err := Polish([][]byte{contig}, reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrections != 0 || polished[0][1000] == genome[1000] {
+		t.Errorf("under-supported correction applied (stats %+v)", st)
+	}
+	// With MinDepth 1 it corrects.
+	cfg := DefaultConfig()
+	cfg.MinDepth = 1
+	polished, st, err = Polish([][]byte{contig}, reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polished[0][1000] != genome[1000] || st.Corrections != 1 {
+		t.Errorf("depth-1 correction missing (stats %+v)", st)
+	}
+}
+
+func TestPolishMultipleContigs(t *testing.T) {
+	g1 := randGenome(27, 1500)
+	g2 := randGenome(28, 1500)
+	c1 := append([]byte(nil), g1...)
+	c1[700] = dna.Complement(c1[700])
+	c2 := append([]byte(nil), g2...)
+	rng := rand.New(rand.NewSource(29))
+	reads := append(tiling(g1, 100, 10, true, rng), tiling(g2, 100, 10, true, rng)...)
+	polished, st, err := Polish([][]byte{c1, c2}, reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(polished[0], g1) || !bytes.Equal(polished[1], g2) {
+		t.Errorf("multi-contig polish failed (stats %+v)", st)
+	}
+}
+
+func TestPolishErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K = 0
+	if _, _, err := Polish(nil, nil, cfg); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,266 @@
+// Package qc computes read-set quality-control statistics (a FastQC
+// lite): per-position quality profile, per-read quality and GC
+// distributions, length distribution, k-mer coverage spectrum and
+// overrepresented 5' prefixes (adapter detection). Focus preprocessing
+// parameters (trim lengths, quality threshold) are chosen from these
+// reports.
+package qc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"focus/internal/dna"
+)
+
+// Report holds the computed statistics.
+type Report struct {
+	NumReads   int
+	TotalBases int
+	MinLen     int
+	MaxLen     int
+	MeanLen    float64
+
+	// PosQualMean[i] is the mean Phred quality at read position i (up to
+	// the longest read); PosCount[i] is how many reads reach position i.
+	PosQualMean []float64
+	PosCount    []int
+
+	// MeanQualHist buckets reads by mean quality (2-point buckets 0..40+).
+	MeanQualHist []int
+	// GCHist buckets reads by GC fraction in 5% bins.
+	GCHist [21]int
+
+	// KmerSpectrum[c] is the number of distinct k-mers seen exactly c
+	// times (c capped at len-1); its main peak estimates coverage.
+	KmerSpectrum []int
+	SpectrumK    int
+
+	// AdapterPrefix is the most overrepresented 5' prefix and the
+	// fraction of reads carrying it (candidates for Trim5).
+	AdapterPrefix     string
+	AdapterPrefixFrac float64
+}
+
+// Config controls the analysis.
+type Config struct {
+	SpectrumK   int // k for the k-mer spectrum (0 disables)
+	SpectrumCap int // spectrum multiplicity cap
+	PrefixLen   int // adapter-candidate prefix length
+}
+
+// DefaultConfig matches 100 bp Illumina-style reads.
+func DefaultConfig() Config {
+	return Config{SpectrumK: 21, SpectrumCap: 64, PrefixLen: 8}
+}
+
+// Analyze computes the report for a read set.
+func Analyze(reads []dna.Read, cfg Config) (*Report, error) {
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("qc: empty read set")
+	}
+	if cfg.PrefixLen <= 0 {
+		cfg.PrefixLen = 8
+	}
+	if cfg.SpectrumCap <= 1 {
+		cfg.SpectrumCap = 64
+	}
+	r := &Report{NumReads: len(reads), MinLen: reads[0].Len(), MeanQualHist: make([]int, 21)}
+
+	var posQualSum []float64
+	prefixes := map[string]int{}
+	var kmers map[dna.Kmer]int32
+	if cfg.SpectrumK > 0 {
+		if cfg.SpectrumK > dna.MaxK {
+			return nil, fmt.Errorf("qc: spectrum k=%d out of range", cfg.SpectrumK)
+		}
+		kmers = make(map[dna.Kmer]int32)
+		r.SpectrumK = cfg.SpectrumK
+	}
+
+	for _, rd := range reads {
+		n := rd.Len()
+		r.TotalBases += n
+		if n < r.MinLen {
+			r.MinLen = n
+		}
+		if n > r.MaxLen {
+			r.MaxLen = n
+		}
+		for len(posQualSum) < n {
+			posQualSum = append(posQualSum, 0)
+			r.PosCount = append(r.PosCount, 0)
+		}
+		qsum := 0
+		for i := 0; i < n; i++ {
+			q := rd.PhredQuality(i)
+			posQualSum[i] += float64(q)
+			r.PosCount[i]++
+			qsum += q
+		}
+		if n > 0 {
+			mean := qsum / n
+			b := mean / 2
+			if b > 20 {
+				b = 20
+			}
+			r.MeanQualHist[b]++
+			gcBin := int(dna.GC(rd.Seq) * 20)
+			if gcBin > 20 {
+				gcBin = 20
+			}
+			r.GCHist[gcBin]++
+		}
+		if n >= cfg.PrefixLen {
+			prefixes[string(rd.Seq[:cfg.PrefixLen])]++
+		}
+		if kmers != nil {
+			it := dna.NewKmerIter(rd.Seq, cfg.SpectrumK)
+			for {
+				km, _, ok := it.Next()
+				if !ok {
+					break
+				}
+				kmers[km.Canonical(cfg.SpectrumK)]++
+			}
+		}
+	}
+	r.MeanLen = float64(r.TotalBases) / float64(r.NumReads)
+	r.PosQualMean = make([]float64, len(posQualSum))
+	for i := range posQualSum {
+		if r.PosCount[i] > 0 {
+			r.PosQualMean[i] = posQualSum[i] / float64(r.PosCount[i])
+		}
+	}
+	if kmers != nil {
+		r.KmerSpectrum = make([]int, cfg.SpectrumCap)
+		for _, c := range kmers {
+			b := int(c)
+			if b >= cfg.SpectrumCap {
+				b = cfg.SpectrumCap - 1
+			}
+			r.KmerSpectrum[b]++
+		}
+	}
+	// Adapter candidate: the most common prefix; overrepresented when it
+	// exceeds what a random prefix would give by a wide margin.
+	best, bestN := "", 0
+	for p, n := range prefixes {
+		if n > bestN || (n == bestN && p < best) {
+			best, bestN = p, n
+		}
+	}
+	r.AdapterPrefix = best
+	r.AdapterPrefixFrac = float64(bestN) / float64(r.NumReads)
+	return r, nil
+}
+
+// EstimatedCoverage returns the position of the k-mer spectrum's main
+// peak, ignoring the low-multiplicity error region (c <= 2). Returns 0
+// without a spectrum or a peak.
+func (r *Report) EstimatedCoverage() int {
+	best, bestN := 0, 0
+	for c := 3; c < len(r.KmerSpectrum); c++ {
+		if r.KmerSpectrum[c] > bestN {
+			best, bestN = c, r.KmerSpectrum[c]
+		}
+	}
+	return best
+}
+
+// AdapterSuspected reports whether the top prefix looks like an adapter
+// (shared by far more reads than base composition explains).
+func (r *Report) AdapterSuspected() bool {
+	return r.AdapterPrefixFrac > 0.25
+}
+
+// Render writes a human-readable report.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "reads: %d, bases: %d, length: %d-%d (mean %.1f)\n",
+		r.NumReads, r.TotalBases, r.MinLen, r.MaxLen, r.MeanLen)
+	fmt.Fprintf(w, "\nper-position mean quality (every 10th position):\n")
+	for i := 0; i < len(r.PosQualMean); i += 10 {
+		bar := strings.Repeat("#", int(r.PosQualMean[i]))
+		fmt.Fprintf(w, "  %4d  q%5.1f %s\n", i, r.PosQualMean[i], bar)
+	}
+	fmt.Fprintf(w, "\nmean read quality histogram (bucket = 2 Phred):\n")
+	for b, n := range r.MeanQualHist {
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  q%2d-%2d  %d\n", 2*b, 2*b+1, n)
+	}
+	fmt.Fprintf(w, "\nGC distribution (5%% bins with reads):\n")
+	for b, n := range r.GCHist {
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %3d%%  %d\n", b*5, n)
+	}
+	if r.SpectrumK > 0 {
+		fmt.Fprintf(w, "\n%d-mer spectrum (multiplicity: distinct k-mers):\n", r.SpectrumK)
+		printed := 0
+		for c, n := range r.KmerSpectrum {
+			if n == 0 || c == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %3dx  %d\n", c, n)
+			printed++
+			if printed >= 20 {
+				fmt.Fprintf(w, "  ...\n")
+				break
+			}
+		}
+		if cov := r.EstimatedCoverage(); cov > 0 {
+			fmt.Fprintf(w, "estimated coverage: ~%dx\n", cov)
+		}
+	}
+	if r.AdapterSuspected() {
+		fmt.Fprintf(w, "\nWARNING: 5' prefix %q present in %.0f%% of reads — likely adapter; consider -trim5 %d\n",
+			r.AdapterPrefix, 100*r.AdapterPrefixFrac, len(r.AdapterPrefix))
+	}
+}
+
+// TopPrefixes returns the n most common 5' prefixes with counts (for
+// tests and detailed reports).
+func TopPrefixes(reads []dna.Read, prefixLen, n int) []struct {
+	Prefix string
+	Count  int
+} {
+	counts := map[string]int{}
+	for _, r := range reads {
+		if r.Len() >= prefixLen {
+			counts[string(r.Seq[:prefixLen])]++
+		}
+	}
+	type pc struct {
+		Prefix string
+		Count  int
+	}
+	var all []pc
+	for p, c := range counts {
+		all = append(all, pc{p, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Prefix < all[j].Prefix
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Prefix string
+		Count  int
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Prefix string
+			Count  int
+		}{all[i].Prefix, all[i].Count}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package qc
+
+import (
+	"strings"
+	"testing"
+
+	"focus/internal/dna"
+	"focus/internal/simulate"
+)
+
+func simSet(t *testing.T, adapterLen int) []dna.Read {
+	t.Helper()
+	com, err := simulate.BuildCommunity(simulate.SingleGenome("qc", 6000, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := simulate.SimulateReads(com, simulate.ReadConfig{
+		ReadLen: 100, Coverage: 10,
+		ErrorRate5: 0.001, ErrorRate3: 0.03,
+		Seed: 51, AdapterLen: adapterLen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs.Reads
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	reads := simSet(t, 0)
+	rep, err := Analyze(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumReads != len(reads) {
+		t.Errorf("NumReads = %d", rep.NumReads)
+	}
+	if rep.MinLen != 100 || rep.MaxLen != 100 || rep.MeanLen != 100 {
+		t.Errorf("lengths = %d/%d/%v", rep.MinLen, rep.MaxLen, rep.MeanLen)
+	}
+	if rep.TotalBases != 100*len(reads) {
+		t.Errorf("TotalBases = %d", rep.TotalBases)
+	}
+	if len(rep.PosQualMean) != 100 {
+		t.Fatalf("PosQualMean len = %d", len(rep.PosQualMean))
+	}
+	// The simulated 3'-degrading profile must show in the report.
+	if rep.PosQualMean[95] >= rep.PosQualMean[5] {
+		t.Errorf("3' quality %.1f not below 5' %.1f", rep.PosQualMean[95], rep.PosQualMean[5])
+	}
+	// All counts at full length for uniform reads.
+	if rep.PosCount[99] != len(reads) {
+		t.Errorf("PosCount[99] = %d", rep.PosCount[99])
+	}
+}
+
+func TestAnalyzeCoverageEstimate(t *testing.T) {
+	reads := simSet(t, 0)
+	rep, err := Analyze(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := rep.EstimatedCoverage()
+	// 10x nominal coverage; k-mer coverage is c*(L-k+1)/L ~ 8x. Accept a
+	// generous window.
+	if cov < 4 || cov > 14 {
+		t.Errorf("estimated coverage = %d, want ~8", cov)
+	}
+}
+
+func TestAnalyzeAdapterDetection(t *testing.T) {
+	withAdapter := simSet(t, 8)
+	rep, err := Analyze(withAdapter, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AdapterSuspected() {
+		t.Errorf("adapter not suspected: prefix %q frac %.2f", rep.AdapterPrefix, rep.AdapterPrefixFrac)
+	}
+	if rep.AdapterPrefix != "AGATCGGA" {
+		t.Errorf("adapter prefix = %q", rep.AdapterPrefix)
+	}
+	clean := simSet(t, 0)
+	rep2, err := Analyze(clean, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.AdapterSuspected() {
+		t.Errorf("false adapter alarm: %q frac %.2f", rep2.AdapterPrefix, rep2.AdapterPrefixFrac)
+	}
+}
+
+func TestAnalyzeGCHist(t *testing.T) {
+	reads := []dna.Read{
+		{ID: "at", Seq: []byte("AATTAATTAA")},
+		{ID: "gc", Seq: []byte("GGCCGGCCGG")},
+	}
+	rep, err := Analyze(reads, Config{PrefixLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GCHist[0] != 1 || rep.GCHist[20] != 1 {
+		t.Errorf("GC hist = %v", rep.GCHist)
+	}
+	if rep.KmerSpectrum != nil {
+		t.Error("spectrum computed with SpectrumK=0")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, DefaultConfig()); err == nil {
+		t.Error("empty set accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.SpectrumK = 40
+	if _, err := Analyze(simSet(t, 0), cfg); err == nil {
+		t.Error("k=40 accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	reads := simSet(t, 8)
+	rep, err := Analyze(reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	rep.Render(&b)
+	out := b.String()
+	for _, want := range []string{"per-position mean quality", "GC distribution", "21-mer spectrum", "WARNING"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopPrefixes(t *testing.T) {
+	reads := []dna.Read{
+		{ID: "1", Seq: []byte("AAAACCCC")},
+		{ID: "2", Seq: []byte("AAAAGGGG")},
+		{ID: "3", Seq: []byte("TTTTGGGG")},
+		{ID: "4", Seq: []byte("AC")}, // too short: skipped
+	}
+	top := TopPrefixes(reads, 4, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Prefix != "AAAA" || top[0].Count != 2 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].Prefix != "TTTT" || top[1].Count != 1 {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+}

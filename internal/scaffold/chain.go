@@ -1,0 +1,136 @@
+package scaffold
+
+// chainer greedily assembles contig chains from orientation-bearing
+// links. Each contig sits in exactly one chain; a join succeeds only
+// when contig a can serve as its chain's right end and contig b as the
+// other chain's left end, with the demanded orientations (flipping a
+// whole chain is allowed — reversing a scaffold is free).
+type chainer struct {
+	chains map[int]*chainRec
+	where  map[int32]int
+	next   int
+}
+
+type chainRec struct {
+	contigs []int32
+	fwd     []bool
+	gaps    []int
+}
+
+func newChainer(kept []int) *chainer {
+	c := &chainer{chains: map[int]*chainRec{}, where: map[int32]int{}}
+	for _, ci := range kept {
+		c.chains[c.next] = &chainRec{contigs: []int32{int32(ci)}, fwd: []bool{true}}
+		c.where[int32(ci)] = c.next
+		c.next++
+	}
+	return c
+}
+
+func (r *chainRec) flip() {
+	for i, j := 0, len(r.contigs)-1; i < j; i, j = i+1, j-1 {
+		r.contigs[i], r.contigs[j] = r.contigs[j], r.contigs[i]
+		r.fwd[i], r.fwd[j] = r.fwd[j], r.fwd[i]
+	}
+	for i := range r.fwd {
+		r.fwd[i] = !r.fwd[i]
+	}
+	for i, j := 0, len(r.gaps)-1; i < j; i, j = i+1, j-1 {
+		r.gaps[i], r.gaps[j] = r.gaps[j], r.gaps[i]
+	}
+}
+
+// asRightEnd prepares r so that contig a is its last element with
+// orientation aFwd. Reports success.
+func (r *chainRec) asRightEnd(a int32, aFwd bool) bool {
+	last := len(r.contigs) - 1
+	if r.contigs[last] == a {
+		if r.fwd[last] == aFwd {
+			return true
+		}
+		if len(r.contigs) == 1 {
+			r.fwd[0] = aFwd
+			return true
+		}
+		return false
+	}
+	if r.contigs[0] == a {
+		r.flip()
+		return r.contigs[len(r.contigs)-1] == a && r.fwd[len(r.contigs)-1] == aFwd
+	}
+	return false
+}
+
+// asLeftEnd prepares r so that contig b is its first element with
+// orientation bFwd.
+func (r *chainRec) asLeftEnd(b int32, bFwd bool) bool {
+	if r.contigs[0] == b {
+		if r.fwd[0] == bFwd {
+			return true
+		}
+		if len(r.contigs) == 1 {
+			r.fwd[0] = bFwd
+			return true
+		}
+		return false
+	}
+	last := len(r.contigs) - 1
+	if r.contigs[last] == b {
+		r.flip()
+		return r.contigs[0] == b && r.fwd[0] == bFwd
+	}
+	return false
+}
+
+// join links a (oriented aFwd) to be followed by b (oriented bFwd) with
+// the given gap. Returns whether the join was applied.
+func (c *chainer) join(a int32, aFwd bool, b int32, bFwd bool, gap int) bool {
+	ca, okA := c.where[a]
+	cb, okB := c.where[b]
+	if !okA || !okB || ca == cb {
+		return false
+	}
+	ra, rb := c.chains[ca], c.chains[cb]
+	if !ra.asRightEnd(a, aFwd) || !rb.asLeftEnd(b, bFwd) {
+		return false
+	}
+	ra.gaps = append(ra.gaps, gap)
+	ra.gaps = append(ra.gaps, rb.gaps...)
+	ra.contigs = append(ra.contigs, rb.contigs...)
+	ra.fwd = append(ra.fwd, rb.fwd...)
+	for _, ci := range rb.contigs {
+		c.where[ci] = ca
+	}
+	delete(c.chains, cb)
+	return true
+}
+
+// scaffolds emits the chains, longest (by contig count) first, ties by
+// first contig id.
+func (c *chainer) scaffolds() []Scaffold {
+	var out []Scaffold
+	for _, r := range c.chains {
+		sc := Scaffold{Gaps: r.gaps}
+		for i, ci := range r.contigs {
+			sc.Contigs = append(sc.Contigs, int(ci))
+			sc.Forward = append(sc.Forward, r.fwd[i])
+		}
+		out = append(out, sc)
+	}
+	sortScaffolds(out)
+	return out
+}
+
+func sortScaffolds(out []Scaffold) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if len(b.Contigs) > len(a.Contigs) ||
+				(len(b.Contigs) == len(a.Contigs) && b.Contigs[0] < a.Contigs[0]) {
+				out[j-1], out[j] = out[j], out[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package scaffold
+
+import "testing"
+
+func TestChainRecFlip(t *testing.T) {
+	r := &chainRec{
+		contigs: []int32{1, 2, 3},
+		fwd:     []bool{true, false, true},
+		gaps:    []int{10, 20},
+	}
+	r.flip()
+	want := []int32{3, 2, 1}
+	wantFwd := []bool{false, true, false}
+	for i := range want {
+		if r.contigs[i] != want[i] || r.fwd[i] != wantFwd[i] {
+			t.Fatalf("flipped = %v %v", r.contigs, r.fwd)
+		}
+	}
+	if r.gaps[0] != 20 || r.gaps[1] != 10 {
+		t.Fatalf("gaps = %v", r.gaps)
+	}
+}
+
+func TestAsRightEndOrientations(t *testing.T) {
+	// Singleton chains can take any orientation.
+	r := &chainRec{contigs: []int32{5}, fwd: []bool{true}}
+	if !r.asRightEnd(5, false) || r.fwd[0] != false {
+		t.Fatal("singleton reorientation failed")
+	}
+	// Multi-element chain: a at the tail with matching orientation.
+	r = &chainRec{contigs: []int32{1, 2}, fwd: []bool{true, true}, gaps: []int{7}}
+	if !r.asRightEnd(2, true) {
+		t.Fatal("tail match failed")
+	}
+	// a at the tail with the WRONG orientation: rejected (cannot flip a
+	// single element inside a chain).
+	if r.asRightEnd(2, false) {
+		t.Fatal("tail orientation mismatch accepted")
+	}
+	// a at the head: the chain flips.
+	if !r.asRightEnd(1, false) {
+		t.Fatal("head flip failed")
+	}
+	if r.contigs[1] != 1 || r.fwd[1] != false {
+		t.Fatalf("after flip: %v %v", r.contigs, r.fwd)
+	}
+	// a not an end at all.
+	r3 := &chainRec{contigs: []int32{1, 2, 3}, fwd: []bool{true, true, true}, gaps: []int{1, 2}}
+	if r3.asRightEnd(2, true) {
+		t.Fatal("middle element accepted as end")
+	}
+}
+
+func TestAsLeftEndOrientations(t *testing.T) {
+	r := &chainRec{contigs: []int32{1, 2}, fwd: []bool{true, true}, gaps: []int{7}}
+	if !r.asLeftEnd(1, true) {
+		t.Fatal("head match failed")
+	}
+	if r.asLeftEnd(1, false) {
+		t.Fatal("head orientation mismatch accepted")
+	}
+	if !r.asLeftEnd(2, false) {
+		t.Fatal("tail flip failed")
+	}
+	if r.contigs[0] != 2 || r.fwd[0] != false {
+		t.Fatalf("after flip: %v %v", r.contigs, r.fwd)
+	}
+}
+
+func TestChainerRejectsUnknownAndMiddle(t *testing.T) {
+	c := newChainer([]int{0, 1, 2, 3})
+	if c.join(9, true, 0, true, 1) {
+		t.Fatal("unknown contig joined")
+	}
+	if !c.join(0, true, 1, true, 5) || !c.join(1, true, 2, true, 5) {
+		t.Fatal("chain setup failed")
+	}
+	// 1 is now mid-chain: neither end role is possible.
+	if c.join(1, true, 3, true, 5) {
+		t.Fatal("mid-chain right end accepted")
+	}
+	if c.join(3, true, 1, true, 5) {
+		t.Fatal("mid-chain left end accepted")
+	}
+}
+
+func TestScaffoldsOrdering(t *testing.T) {
+	c := newChainer([]int{0, 1, 2, 3, 4})
+	_ = c.join(3, true, 4, true, 5)
+	scs := c.scaffolds()
+	if len(scs) != 4 {
+		t.Fatalf("scaffolds = %d", len(scs))
+	}
+	// Longest chain first, then by first contig id.
+	if len(scs[0].Contigs) != 2 || scs[0].Contigs[0] != 3 {
+		t.Fatalf("first scaffold = %+v", scs[0])
+	}
+	if scs[1].Contigs[0] != 0 || scs[2].Contigs[0] != 1 || scs[3].Contigs[0] != 2 {
+		t.Fatalf("singleton order: %+v", scs[1:])
+	}
+}

@@ -1,0 +1,281 @@
+// Package scaffold orders and orients contigs into scaffolds using
+// mate-pair links, the classical post-assembly stage (PCAP, the paper's
+// reference [9], parallelizes exactly this step). The pipeline is:
+//
+//  1. Dedupe: Focus assembles both strands separately (preprocessing adds
+//     every read's reverse complement), so each genomic region yields a
+//     forward and a reverse contig; deduplication keeps one per region.
+//  2. Place: mates are anchored on contigs by unique k-mers.
+//  3. Link: pairs whose mates land on different contigs vote for an
+//     order/orientation/gap; votes are bundled per contig pair.
+//  4. Chain: contig ends are greedily joined by strongest bundles,
+//     producing scaffolds with N-filled gaps.
+package scaffold
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"focus/internal/anchor"
+	"focus/internal/dna"
+)
+
+// Config controls scaffolding.
+type Config struct {
+	K int // anchor/dedupe k-mer size
+	// MinLinks is the number of agreeing mate pairs required to join two
+	// contigs.
+	MinLinks int
+	// InsertMean/InsertSD describe the library; gaps are estimated from
+	// InsertMean and pairs implying a gap beyond InsertMean+4*InsertSD
+	// are discarded.
+	InsertMean int
+	InsertSD   int
+	// DedupeOverlap is the fraction of a contig's k-mers that must hit
+	// another contig (either strand) for it to count as a duplicate.
+	DedupeOverlap float64
+	// MinGap floors the estimated gap so joined contigs keep at least
+	// this many Ns between them.
+	MinGap int
+}
+
+// DefaultConfig returns scaffolding defaults for a 400±40 bp library.
+func DefaultConfig() Config {
+	return Config{K: 25, MinLinks: 3, InsertMean: 400, InsertSD: 40, DedupeOverlap: 0.8, MinGap: 10}
+}
+
+// Placement is one read anchored on a contig.
+type Placement struct {
+	Contig  int32
+	Pos     int32 // leftmost contig position of the read
+	Forward bool  // read maps to the contig's forward strand
+}
+
+// Scaffold is an ordered, oriented chain of contigs.
+type Scaffold struct {
+	// Contigs[i] is a contig index; Forward[i] its orientation; Gaps[i]
+	// the estimated gap AFTER contig i (len = len(Contigs)-1).
+	Contigs []int
+	Forward []bool
+	Gaps    []int
+}
+
+// Result is the scaffolding output.
+type Result struct {
+	Kept      []int // contig indices surviving deduplication
+	Scaffolds []Scaffold
+	// Sequences renders each scaffold with N-filled gaps.
+	Sequences [][]byte
+	Links     int // bundles used
+}
+
+// Dedupe returns the indices of contigs that are not (near-)duplicates —
+// on either strand — of an earlier kept contig. Contigs are considered
+// longest-first so the best representative of each region survives.
+func Dedupe(contigs [][]byte, cfg Config) []int {
+	order := make([]int, len(contigs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if len(contigs[order[a]]) != len(contigs[order[b]]) {
+			return len(contigs[order[a]]) > len(contigs[order[b]])
+		}
+		return order[a] < order[b]
+	})
+	seen := map[dna.Kmer]bool{}
+	var kept []int
+	for _, ci := range order {
+		c := contigs[ci]
+		total, hits := 0, 0
+		it := dna.NewKmerIter(c, cfg.K)
+		var kms []dna.Kmer
+		for {
+			km, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			can := km.Canonical(cfg.K)
+			kms = append(kms, can)
+			total++
+			if seen[can] {
+				hits++
+			}
+		}
+		if total == 0 || float64(hits)/float64(total) >= cfg.DedupeOverlap {
+			continue // duplicate (or unindexable)
+		}
+		kept = append(kept, ci)
+		for _, km := range kms {
+			seen[km] = true
+		}
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+// place adapts an anchor hit to a Placement.
+func place(ix *anchor.Index, read []byte) (Placement, bool) {
+	h, ok := ix.Place(read, 2)
+	if !ok {
+		return Placement{}, false
+	}
+	return Placement{Contig: h.Seq, Pos: h.Pos, Forward: h.Forward}, true
+}
+
+// link is one mate-pair vote joining two contig ends.
+type link struct {
+	a, b int32 // contig ids, a < b
+	aFwd bool  // orientation of a in the implied scaffold (b follows a)
+	bFwd bool
+	gap  int
+}
+
+// Build runs the full scaffolding pipeline. reads must be in mate order
+// (2i, 2i+1 are mates, as simulate produces with Paired=true).
+func Build(contigs [][]byte, reads []dna.Read, cfg Config) (*Result, error) {
+	if cfg.K <= 0 || cfg.K > dna.MaxK {
+		return nil, fmt.Errorf("scaffold: k=%d out of range", cfg.K)
+	}
+	if len(reads)%2 != 0 {
+		return nil, fmt.Errorf("scaffold: odd read count %d for paired input", len(reads))
+	}
+	res := &Result{Kept: Dedupe(contigs, cfg)}
+	targets := make([][]byte, len(res.Kept))
+	ids := make([]int32, len(res.Kept))
+	for i, ci := range res.Kept {
+		targets[i] = contigs[ci]
+		ids[i] = int32(ci)
+	}
+	ix, err := anchor.New(targets, ids, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect links from pairs whose mates land on different contigs.
+	bundles := map[[2]int32][]link{}
+	for i := 0; i+1 < len(reads); i += 2 {
+		p1, ok1 := place(ix, reads[i].Seq)
+		p2, ok2 := place(ix, reads[i+1].Seq)
+		if !ok1 || !ok2 || p1.Contig == p2.Contig {
+			continue
+		}
+		l, ok := pairLink(p1, p2, len(reads[i].Seq), len(reads[i+1].Seq), contigs, cfg)
+		if !ok {
+			continue
+		}
+		key := [2]int32{l.a, l.b}
+		bundles[key] = append(bundles[key], l)
+	}
+
+	// Bundle: per contig pair, majority orientation, median gap.
+	type bundle struct {
+		link
+		n int
+	}
+	var strong []bundle
+	for _, ls := range bundles {
+		type sig struct{ aF, bF bool }
+		bySig := map[sig][]link{}
+		for _, l := range ls {
+			bySig[sig{l.aFwd, l.bFwd}] = append(bySig[sig{l.aFwd, l.bFwd}], l)
+		}
+		var top []link
+		for _, group := range bySig {
+			if len(group) > len(top) {
+				top = group
+			}
+		}
+		if len(top) < cfg.MinLinks {
+			continue
+		}
+		gaps := make([]int, len(top))
+		for i, l := range top {
+			gaps[i] = l.gap
+		}
+		sort.Ints(gaps)
+		b := bundle{link: top[0], n: len(top)}
+		b.gap = gaps[len(gaps)/2]
+		strong = append(strong, b)
+	}
+	sort.Slice(strong, func(i, j int) bool {
+		if strong[i].n != strong[j].n {
+			return strong[i].n > strong[j].n
+		}
+		if strong[i].a != strong[j].a {
+			return strong[i].a < strong[j].a
+		}
+		return strong[i].b < strong[j].b
+	})
+	res.Links = len(strong)
+
+	// Greedy chaining on contig ends.
+	chains := newChainer(res.Kept)
+	for _, b := range strong {
+		chains.join(b.a, b.aFwd, b.b, b.bFwd, b.gap)
+	}
+	res.Scaffolds = chains.scaffolds()
+	for _, sc := range res.Scaffolds {
+		res.Sequences = append(res.Sequences, renderScaffold(contigs, sc, cfg.MinGap))
+	}
+	return res, nil
+}
+
+// pairLink converts two mate placements into a scaffold link. Mates are
+// FR: /1 forward implies the fragment runs rightward from p1 on its
+// contig; /2 is the fragment's far end reverse-complemented.
+func pairLink(p1, p2 Placement, len1, len2 int, contigs [][]byte, cfg Config) (link, bool) {
+	// Distance from each read to the end of its contig that the
+	// fragment runs off. For /1 (fragment continues 3' of the read on
+	// its strand): forward -> right end, reverse -> left end. For /2 the
+	// fragment continues 3' of the read on ITS strand as well (the read
+	// points back into the fragment).
+	tail := func(p Placement, rlen int, clen int) int {
+		if p.Forward {
+			return clen - int(p.Pos)
+		}
+		return int(p.Pos) + rlen
+	}
+	c1, c2 := contigs[p1.Contig], contigs[p2.Contig]
+	t1 := tail(p1, len1, len(c1))
+	t2 := tail(p2, len2, len(c2))
+	gap := cfg.InsertMean - t1 - t2
+	// Reject geometrically implausible pairs: a gap beyond the library's
+	// reach, or an implied contig overlap larger than half an insert.
+	if gap > cfg.InsertMean+4*cfg.InsertSD || gap < -cfg.InsertMean/2 {
+		return link{}, false
+	}
+	// Scaffold order: contig of /1 first, oriented so the fragment exits
+	// rightward; contig of /2 second, oriented so the fragment enters
+	// from the left (i.e. /2 read maps reverse on the scaffold).
+	aFwd := p1.Forward
+	bFwd := !p2.Forward
+	l := link{a: p1.Contig, b: p2.Contig, aFwd: aFwd, bFwd: bFwd, gap: gap}
+	if l.a > l.b {
+		// Normalize: reversing the scaffold flips order and orientations.
+		l.a, l.b = l.b, l.a
+		l.aFwd, l.bFwd = !bFwd, !aFwd
+	}
+	return l, true
+}
+
+// renderScaffold joins oriented contigs with N gaps.
+func renderScaffold(contigs [][]byte, sc Scaffold, minGap int) []byte {
+	var out []byte
+	for i, ci := range sc.Contigs {
+		seq := contigs[ci]
+		if !sc.Forward[i] {
+			seq = dna.ReverseComplement(seq)
+		}
+		out = append(out, seq...)
+		if i < len(sc.Gaps) {
+			gap := sc.Gaps[i]
+			if gap < minGap {
+				gap = minGap
+			}
+			out = append(out, bytes.Repeat([]byte("N"), gap)...)
+		}
+	}
+	return out
+}

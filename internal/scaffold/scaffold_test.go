@@ -1,0 +1,214 @@
+package scaffold
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"focus/internal/anchor"
+	"focus/internal/dna"
+	"focus/internal/simulate"
+)
+
+func randGenome(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = "ACGT"[rng.Intn(4)]
+	}
+	return g
+}
+
+func TestDedupeRemovesReverseComplements(t *testing.T) {
+	g := randGenome(1, 3000)
+	contigs := [][]byte{
+		g[:1000],
+		dna.ReverseComplement(g[:1000]), // rc duplicate
+		g[1500:2500],
+		g[100:900], // contained in contig 0 -> duplicate k-mers
+	}
+	kept := Dedupe(contigs, DefaultConfig())
+	want := []int{0, 2}
+	if len(kept) != len(want) {
+		t.Fatalf("kept = %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept = %v, want %v", kept, want)
+		}
+	}
+}
+
+func TestPlaceBothStrands(t *testing.T) {
+	g := randGenome(2, 2000)
+	contigs := [][]byte{g[:1000], g[1100:2000]}
+	ix, err := anchor.New(contigs, nil, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	read := g[300:400]
+	p, ok := place(ix, read)
+	if !ok || p.Contig != 0 || !p.Forward || p.Pos != 300 {
+		t.Fatalf("forward placement = %+v ok=%v", p, ok)
+	}
+	rc := dna.ReverseComplement(read)
+	p, ok = place(ix, rc)
+	if !ok || p.Contig != 0 || p.Forward || p.Pos != 300 {
+		t.Fatalf("reverse placement = %+v ok=%v", p, ok)
+	}
+	if _, ok := place(ix, randGenome(3, 100)); ok {
+		t.Error("random read placed")
+	}
+}
+
+func TestPairLinkGeometry(t *testing.T) {
+	g := randGenome(4, 3000)
+	// Contigs: A = g[0:1000), B = g[1150:2150); gap 150.
+	contigs := [][]byte{g[:1000], g[1150:2150]}
+	cfg := DefaultConfig() // insert 400
+	// Fragment at genome 850..1250: /1 fwd at 850 (A pos 850), /2 rc at
+	// 1150..1250 (B pos 0).
+	p1 := Placement{Contig: 0, Pos: 850, Forward: true}
+	p2 := Placement{Contig: 1, Pos: 0, Forward: false}
+	l, ok := pairLink(p1, p2, 100, 100, contigs, cfg)
+	if !ok {
+		t.Fatal("link rejected")
+	}
+	if l.a != 0 || l.b != 1 || !l.aFwd || !l.bFwd {
+		t.Fatalf("link = %+v", l)
+	}
+	if l.gap != 150 {
+		t.Errorf("gap = %d, want 150", l.gap)
+	}
+	// Implausible gap: mates too far inside their contigs.
+	p1bad := Placement{Contig: 0, Pos: 0, Forward: true}
+	if _, ok := pairLink(p1bad, p2, 100, 100, contigs, cfg); ok {
+		t.Error("implausible link accepted")
+	}
+}
+
+func TestChainerJoinsAndFlips(t *testing.T) {
+	c := newChainer([]int{0, 1, 2})
+	if !c.join(0, true, 1, true, 50) {
+		t.Fatal("join 0->1 failed")
+	}
+	// Joining within the same chain must fail (cycle).
+	if c.join(1, true, 0, true, 10) {
+		t.Fatal("cycle join accepted")
+	}
+	// Join 2 before 0 using flipped orientations: link says "2 reversed
+	// then 0 forward".
+	if !c.join(2, false, 0, true, 30) {
+		t.Fatal("join 2->0 failed")
+	}
+	scs := c.scaffolds()
+	if len(scs) != 1 {
+		t.Fatalf("scaffolds = %+v", scs)
+	}
+	sc := scs[0]
+	wantOrder := []int{2, 0, 1}
+	wantFwd := []bool{false, true, true}
+	for i := range wantOrder {
+		if sc.Contigs[i] != wantOrder[i] || sc.Forward[i] != wantFwd[i] {
+			t.Fatalf("scaffold = %+v", sc)
+		}
+	}
+	if sc.Gaps[0] != 30 || sc.Gaps[1] != 50 {
+		t.Fatalf("gaps = %v", sc.Gaps)
+	}
+}
+
+func TestBuildEndToEnd(t *testing.T) {
+	// Genome cut into 4 contigs with gaps; both strands present (as the
+	// Focus assembler emits); paired reads from the whole genome.
+	genome := randGenome(5, 8000)
+	cuts := [][2]int{{0, 1900}, {2050, 3900}, {4050, 5900}, {6050, 8000}}
+	var contigs [][]byte
+	for _, c := range cuts {
+		contigs = append(contigs, genome[c[0]:c[1]])
+		contigs = append(contigs, dna.ReverseComplement(genome[c[0]:c[1]]))
+	}
+
+	com, err := simulate.BuildCommunity(simulate.SingleGenome("s", 10, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = com
+	// Paired reads straight off the genome (error-free).
+	rng := rand.New(rand.NewSource(7))
+	var reads []dna.Read
+	for i := 0; i < 800; i++ {
+		ins := 400 + rng.Intn(60) - 30
+		start := rng.Intn(len(genome) - ins)
+		r1 := append([]byte(nil), genome[start:start+100]...)
+		r2 := dna.ReverseComplement(genome[start+ins-100 : start+ins])
+		reads = append(reads, dna.Read{ID: "p/1", Seq: r1}, dna.Read{ID: "p/2", Seq: r2})
+	}
+
+	res, err := Build(contigs, reads, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 4 {
+		t.Fatalf("kept = %v, want the 4 strand-deduplicated contigs", res.Kept)
+	}
+	if len(res.Scaffolds) != 1 {
+		t.Fatalf("got %d scaffolds, want 1 (links=%d)", len(res.Scaffolds), res.Links)
+	}
+	sc := res.Scaffolds[0]
+	if len(sc.Contigs) != 4 {
+		t.Fatalf("scaffold = %+v", sc)
+	}
+	// The scaffold must traverse the genome in order (possibly globally
+	// reversed).
+	first := sc.Contigs[0]
+	ascending := first == res.Kept[0]
+	for i := range sc.Contigs {
+		want := res.Kept[i]
+		if !ascending {
+			want = res.Kept[len(res.Kept)-1-i]
+		}
+		if sc.Contigs[i] != want {
+			t.Fatalf("scaffold order %v (kept %v)", sc.Contigs, res.Kept)
+		}
+	}
+	// Gap estimates near the true 150 bp.
+	for _, gap := range sc.Gaps {
+		if gap < 50 || gap > 280 {
+			t.Errorf("gap = %d, want ~150", gap)
+		}
+	}
+	// Rendered sequence: contig bases + N gaps, total near genome size.
+	seq := res.Sequences[0]
+	n := bytes.Count(seq, []byte("N"))
+	if n == 0 {
+		t.Error("no gap Ns in scaffold sequence")
+	}
+	if len(seq) < 7000 || len(seq) > 9000 {
+		t.Errorf("scaffold length = %d for %d bp genome", len(seq), len(genome))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, make([]dna.Read, 3), DefaultConfig()); err == nil {
+		t.Error("odd read count accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.K = 0
+	if _, err := Build(nil, nil, cfg); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestBuildNoLinksLeavesSingletons(t *testing.T) {
+	g := randGenome(8, 3000)
+	contigs := [][]byte{g[:1000], g[2000:3000]}
+	res, err := Build(contigs, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaffolds) != 2 {
+		t.Fatalf("scaffolds = %d, want 2 singletons", len(res.Scaffolds))
+	}
+}

@@ -1,0 +1,291 @@
+// Package taxonomy classifies reads to reference genomes by exact k-mer
+// voting and summarizes how genera distribute over graph partitions. It
+// substitutes for the paper's BWA-against-HMP-reference step in §VI.E: the
+// experiment only needs a best-hit genus per read, which canonical k-mer
+// voting against the simulated references provides.
+package taxonomy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"focus/internal/dna"
+)
+
+// Reference is one labeled reference sequence.
+type Reference struct {
+	Name   string
+	Genus  string
+	Phylum string
+	Seq    []byte
+}
+
+// Classifier is a canonical-k-mer index over a reference set.
+type Classifier struct {
+	k    int
+	refs []Reference
+	// index maps a canonical k-mer to the reference that owns it, or to
+	// ambiguous when several references share it. Shared (ancestral)
+	// k-mers between related genera thus do not vote.
+	index map[dna.Kmer]int32
+}
+
+const ambiguous = int32(-2)
+
+// NewClassifier indexes the references with canonical k-mers.
+func NewClassifier(refs []Reference, k int) (*Classifier, error) {
+	if k <= 0 || k > dna.MaxK {
+		return nil, fmt.Errorf("taxonomy: k=%d out of range", k)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("taxonomy: no references")
+	}
+	c := &Classifier{k: k, refs: refs, index: make(map[dna.Kmer]int32)}
+	for ri, ref := range refs {
+		it := dna.NewKmerIter(ref.Seq, k)
+		for {
+			km, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			can := km.Canonical(k)
+			if owner, seen := c.index[can]; seen {
+				if owner != int32(ri) {
+					c.index[can] = ambiguous
+				}
+			} else {
+				c.index[can] = int32(ri)
+			}
+		}
+	}
+	return c, nil
+}
+
+// K returns the classifier's k-mer size.
+func (c *Classifier) K() int { return c.k }
+
+// NumRefs returns the reference count.
+func (c *Classifier) NumRefs() int { return len(c.refs) }
+
+// Ref returns reference i.
+func (c *Classifier) Ref(i int) Reference { return c.refs[i] }
+
+// Classify returns the best-hit reference index for seq, or ok=false when
+// no reference received a vote (the read stays unclassified, as in the
+// paper).
+func (c *Classifier) Classify(seq []byte) (ref int, ok bool) {
+	votes := make(map[int32]int)
+	it := dna.NewKmerIter(seq, c.k)
+	for {
+		km, _, okNext := it.Next()
+		if !okNext {
+			break
+		}
+		owner, seen := c.index[km.Canonical(c.k)]
+		if seen && owner != ambiguous {
+			votes[owner]++
+		}
+	}
+	best, bestVotes := int32(-1), 0
+	for r, v := range votes {
+		if v > bestVotes || (v == bestVotes && best != -1 && r < best) {
+			best, bestVotes = r, v
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return int(best), true
+}
+
+// Distribution is the genus-by-partition read-count matrix behind the
+// paper's Fig. 7 heat maps.
+type Distribution struct {
+	Genera []string
+	Phyla  []string // parallel to Genera
+	Parts  int
+	// Counts[g][p] = classified reads of genus g whose graph node landed
+	// in partition p.
+	Counts [][]int
+}
+
+// Fraction returns the row-normalized fraction matrix (each genus row
+// sums to 1, or stays 0 for genera with no reads).
+func (d *Distribution) Fraction() [][]float64 {
+	out := make([][]float64, len(d.Genera))
+	for g := range d.Genera {
+		out[g] = make([]float64, d.Parts)
+		total := 0
+		for _, c := range d.Counts[g] {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for p, c := range d.Counts[g] {
+			out[g][p] = float64(c) / float64(total)
+		}
+	}
+	return out
+}
+
+// GenusDistribution classifies every read and accumulates counts per
+// (genus, partition). labels[i] is the partition of read i's overlap-graph
+// node; reads is indexed identically.
+func GenusDistribution(c *Classifier, reads []dna.Read, labels []int32, parts int) (*Distribution, error) {
+	if len(reads) != len(labels) {
+		return nil, fmt.Errorf("taxonomy: %d reads, %d labels", len(reads), len(labels))
+	}
+	// Genus list in first-appearance order over references.
+	genusIdx := map[string]int{}
+	d := &Distribution{Parts: parts}
+	for i := 0; i < c.NumRefs(); i++ {
+		ref := c.Ref(i)
+		if _, ok := genusIdx[ref.Genus]; !ok {
+			genusIdx[ref.Genus] = len(d.Genera)
+			d.Genera = append(d.Genera, ref.Genus)
+			d.Phyla = append(d.Phyla, ref.Phylum)
+		}
+	}
+	d.Counts = make([][]int, len(d.Genera))
+	for g := range d.Counts {
+		d.Counts[g] = make([]int, parts)
+	}
+	for i, r := range reads {
+		p := labels[i]
+		if p < 0 || int(p) >= parts {
+			return nil, fmt.Errorf("taxonomy: read %d in partition %d outside [0,%d)", i, p, parts)
+		}
+		ref, ok := c.Classify(r.Seq)
+		if !ok {
+			continue
+		}
+		g := genusIdx[c.Ref(ref).Genus]
+		d.Counts[g][p]++
+	}
+	return d, nil
+}
+
+// TopGenera returns the indexes of the n genera with the highest total
+// classified read counts, descending (paper: the top ten pooled genera).
+func (d *Distribution) TopGenera(n int) []int {
+	type gt struct {
+		g, total int
+	}
+	var all []gt
+	for g := range d.Genera {
+		t := 0
+		for _, c := range d.Counts[g] {
+			t += c
+		}
+		all = append(all, gt{g, t})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].total != all[j].total {
+			return all[i].total > all[j].total
+		}
+		return all[i].g < all[j].g
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].g
+	}
+	return out
+}
+
+// Abundance is one genus's estimated share of the community.
+type Abundance struct {
+	Genus    string
+	Phylum   string
+	Reads    int
+	Depth    float64 // reads * readLen / total reference length of the genus
+	Fraction float64 // depth / sum of depths
+}
+
+// EstimateAbundance classifies the reads and converts per-genus read
+// counts into depth-normalized abundance estimates (reads from a longer
+// genome do not inflate its genus). Unclassified reads are ignored.
+func EstimateAbundance(c *Classifier, reads []dna.Read) []Abundance {
+	genusLen := map[string]int{}
+	genusPhy := map[string]string{}
+	for i := 0; i < c.NumRefs(); i++ {
+		ref := c.Ref(i)
+		genusLen[ref.Genus] += len(ref.Seq)
+		genusPhy[ref.Genus] = ref.Phylum
+	}
+	counts := map[string]int{}
+	bases := map[string]int{}
+	for _, r := range reads {
+		ref, ok := c.Classify(r.Seq)
+		if !ok {
+			continue
+		}
+		g := c.Ref(ref).Genus
+		counts[g]++
+		bases[g] += len(r.Seq)
+	}
+	var out []Abundance
+	total := 0.0
+	for g, n := range counts {
+		depth := float64(bases[g]) / float64(genusLen[g])
+		out = append(out, Abundance{Genus: g, Phylum: genusPhy[g], Reads: n, Depth: depth})
+		total += depth
+	}
+	for i := range out {
+		if total > 0 {
+			out[i].Fraction = out[i].Depth / total
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fraction != out[j].Fraction {
+			return out[i].Fraction > out[j].Fraction
+		}
+		return out[i].Genus < out[j].Genus
+	})
+	return out
+}
+
+// PhylumCohesion measures whether same-phylum genera concentrate in the
+// same partitions (the paper's qualitative Fig. 7 observation): it
+// returns the mean cosine similarity of partition-fraction vectors for
+// same-phylum genus pairs and for different-phylum pairs.
+func (d *Distribution) PhylumCohesion() (same, diff float64) {
+	frac := d.Fraction()
+	cos := func(a, b []float64) float64 {
+		var dot, na, nb float64
+		for i := range a {
+			dot += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return dot / (math.Sqrt(na) * math.Sqrt(nb))
+	}
+	var sSum, dSum float64
+	var sN, dN int
+	for i := 0; i < len(d.Genera); i++ {
+		for j := i + 1; j < len(d.Genera); j++ {
+			c := cos(frac[i], frac[j])
+			if d.Phyla[i] == d.Phyla[j] {
+				sSum += c
+				sN++
+			} else {
+				dSum += c
+				dN++
+			}
+		}
+	}
+	if sN > 0 {
+		same = sSum / float64(sN)
+	}
+	if dN > 0 {
+		diff = dSum / float64(dN)
+	}
+	return same, diff
+}

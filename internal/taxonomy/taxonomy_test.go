@@ -1,0 +1,280 @@
+package taxonomy
+
+import (
+	"math/rand"
+	"testing"
+
+	"focus/internal/dna"
+	"focus/internal/simulate"
+)
+
+func randSeq(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+func twoRefs() []Reference {
+	return []Reference{
+		{Name: "g1", Genus: "Alpha", Phylum: "P1", Seq: randSeq(80, 2000)},
+		{Name: "g2", Genus: "Beta", Phylum: "P2", Seq: randSeq(81, 2000)},
+	}
+}
+
+func TestClassifierBasics(t *testing.T) {
+	refs := twoRefs()
+	c, err := NewClassifier(refs, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 21 || c.NumRefs() != 2 {
+		t.Fatalf("k=%d refs=%d", c.K(), c.NumRefs())
+	}
+	// Reads drawn directly from each reference classify correctly.
+	for ri, ref := range refs {
+		for pos := 0; pos+100 <= len(ref.Seq); pos += 250 {
+			got, ok := c.Classify(ref.Seq[pos : pos+100])
+			if !ok || got != ri {
+				t.Fatalf("read from ref %d at %d classified as (%d,%v)", ri, pos, got, ok)
+			}
+		}
+	}
+}
+
+func TestClassifyReverseComplement(t *testing.T) {
+	refs := twoRefs()
+	c, err := NewClassifier(refs, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := dna.ReverseComplement(refs[1].Seq[300:400])
+	got, ok := c.Classify(read)
+	if !ok || got != 1 {
+		t.Errorf("rc read classified as (%d,%v), want (1,true)", got, ok)
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	c, err := NewClassifier(twoRefs(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Classify(randSeq(99, 100)); ok {
+		t.Error("random read classified")
+	}
+	if _, ok := c.Classify(nil); ok {
+		t.Error("empty read classified")
+	}
+}
+
+func TestSharedKmersAreAmbiguous(t *testing.T) {
+	shared := randSeq(82, 500)
+	refs := []Reference{
+		{Name: "a", Genus: "A", Phylum: "P", Seq: shared},
+		{Name: "b", Genus: "B", Phylum: "P", Seq: shared},
+	}
+	c, err := NewClassifier(refs, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every k-mer is shared: no votes, unclassified.
+	if _, ok := c.Classify(shared[100:200]); ok {
+		t.Error("fully ambiguous read classified")
+	}
+}
+
+func TestNewClassifierErrors(t *testing.T) {
+	if _, err := NewClassifier(nil, 21); err == nil {
+		t.Error("no refs accepted")
+	}
+	if _, err := NewClassifier(twoRefs(), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewClassifier(twoRefs(), 40); err == nil {
+		t.Error("k=40 accepted")
+	}
+}
+
+func buildCommunityReads(t *testing.T) (*simulate.Community, *simulate.ReadSet) {
+	t.Helper()
+	spec, err := simulate.PaperDataSet(2, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	com, err := simulate.BuildCommunity(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := simulate.SimulateReads(com, simulate.ReadConfig{ReadLen: 100, Coverage: 3, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return com, rs
+}
+
+func refsOf(com *simulate.Community) []Reference {
+	var refs []Reference
+	for _, g := range com.Genomes {
+		refs = append(refs, Reference{Name: g.ID, Genus: g.Genus, Phylum: g.Phylum, Seq: g.Seq})
+	}
+	return refs
+}
+
+func TestClassifierOnSimulatedCommunity(t *testing.T) {
+	com, rs := buildCommunityReads(t)
+	c, err := NewClassifier(refsOf(com), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, classified := 0, 0
+	for i, r := range rs.Reads {
+		ref, ok := c.Classify(r.Seq)
+		if !ok {
+			continue
+		}
+		classified++
+		if c.Ref(ref).Name == rs.Origins[i].GenomeID {
+			correct++
+		}
+	}
+	if classified < len(rs.Reads)*8/10 {
+		t.Errorf("only %d/%d reads classified", classified, len(rs.Reads))
+	}
+	if correct < classified*9/10 {
+		t.Errorf("accuracy %d/%d too low", correct, classified)
+	}
+}
+
+func TestGenusDistribution(t *testing.T) {
+	com, rs := buildCommunityReads(t)
+	c, err := NewClassifier(refsOf(com), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic partitioning: assign each read's node by its true genome,
+	// two genomes per partition: strong concentration expected.
+	parts := 5
+	genomeIdx := map[string]int{}
+	for i, g := range com.Genomes {
+		genomeIdx[g.ID] = i
+	}
+	labels := make([]int32, len(rs.Reads))
+	for i := range rs.Reads {
+		labels[i] = int32(genomeIdx[rs.Origins[i].GenomeID] / 2)
+	}
+	d, err := GenusDistribution(c, rs.Reads, labels, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Genera) != 10 {
+		t.Fatalf("%d genera", len(d.Genera))
+	}
+	frac := d.Fraction()
+	for g, row := range frac {
+		sum := 0.0
+		mx := 0.0
+		for _, f := range row {
+			sum += f
+			if f > mx {
+				mx = f
+			}
+		}
+		if sum > 0 && (sum < 0.999 || sum > 1.001) {
+			t.Errorf("genus %d row sums to %v", g, sum)
+		}
+		// Each genus was pinned to one partition: its row must be
+		// strongly concentrated.
+		if sum > 0 && mx < 0.8 {
+			t.Errorf("genus %s fraction max %v, want concentrated", d.Genera[g], mx)
+		}
+	}
+	top := d.TopGenera(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	// Top genera have decreasing totals.
+	tot := func(g int) int {
+		s := 0
+		for _, c := range d.Counts[g] {
+			s += c
+		}
+		return s
+	}
+	if tot(top[0]) < tot(top[1]) || tot(top[1]) < tot(top[2]) {
+		t.Errorf("top order wrong: %d %d %d", tot(top[0]), tot(top[1]), tot(top[2]))
+	}
+}
+
+func TestGenusDistributionErrors(t *testing.T) {
+	com, rs := buildCommunityReads(t)
+	c, _ := NewClassifier(refsOf(com), 21)
+	if _, err := GenusDistribution(c, rs.Reads, nil, 4); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	bad := make([]int32, len(rs.Reads))
+	bad[0] = 99
+	if _, err := GenusDistribution(c, rs.Reads, bad, 4); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+}
+
+func TestEstimateAbundance(t *testing.T) {
+	com, rs := buildCommunityReads(t)
+	c, err := NewClassifier(refsOf(com), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := EstimateAbundance(c, rs.Reads)
+	if len(ab) == 0 {
+		t.Fatal("no abundances")
+	}
+	sum := 0.0
+	for i, a := range ab {
+		if a.Fraction < 0 || a.Fraction > 1 || a.Depth <= 0 || a.Reads <= 0 {
+			t.Fatalf("abundance %d invalid: %+v", i, a)
+		}
+		if i > 0 && a.Fraction > ab[i-1].Fraction {
+			t.Fatal("abundances not sorted descending")
+		}
+		sum += a.Fraction
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	// D2's genera all have equal spec abundance: estimated fractions
+	// should be roughly uniform (within 3x of 1/n).
+	n := float64(len(ab))
+	for _, a := range ab {
+		if a.Fraction > 3/n || a.Fraction < 1/(3*n) {
+			t.Errorf("genus %s fraction %.3f far from uniform 1/%d", a.Genus, a.Fraction, int(n))
+		}
+	}
+}
+
+func TestPhylumCohesion(t *testing.T) {
+	// Hand-built distribution: same-phylum genera share partitions.
+	d := &Distribution{
+		Genera: []string{"A", "B", "C", "D"},
+		Phyla:  []string{"P1", "P1", "P2", "P2"},
+		Parts:  4,
+		Counts: [][]int{
+			{10, 10, 0, 0},
+			{8, 12, 0, 0},
+			{0, 0, 10, 10},
+			{0, 0, 12, 8},
+		},
+	}
+	same, diff := d.PhylumCohesion()
+	if same <= diff {
+		t.Errorf("same-phylum cohesion %v not above cross-phylum %v", same, diff)
+	}
+	if same < 0.9 {
+		t.Errorf("same = %v", same)
+	}
+	if diff > 0.1 {
+		t.Errorf("diff = %v", diff)
+	}
+}
