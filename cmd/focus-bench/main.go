@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"focus"
@@ -46,13 +47,43 @@ type harness struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|table3|fig7|baselines|all")
-		scale    = flag.Float64("scale", 0.35, "data set scale factor (1.0 = ~140kb communities)")
-		coverage = flag.Float64("coverage", 8, "read coverage")
-		runs     = flag.Int("runs", 3, "repetitions for timed runs (Fig. 4)")
-		maxProcs = flag.Int("maxprocs", 12, "max processors in the Fig. 4 sweep")
+		exp        = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|table3|fig7|baselines|all")
+		scale      = flag.Float64("scale", 0.35, "data set scale factor (1.0 = ~140kb communities)")
+		coverage   = flag.Float64("coverage", 8, "read coverage")
+		runs       = flag.Int("runs", 3, "repetitions for timed runs (Fig. 4)")
+		maxProcs   = flag.Int("maxprocs", 12, "max processors in the Fig. 4 sweep")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to `file`")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to `file`")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "focus-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "focus-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "focus-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "focus-bench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	h := &harness{
 		scale: *scale, coverage: *coverage, runs: *runs, maxProcs: *maxProcs,

@@ -4,7 +4,9 @@
 // (IEEE IPDPSW 2017).
 //
 // The pipeline mirrors the paper: read preprocessing, k-mer seeded
-// pairwise overlap alignment over a suffix-array index, overlap graph
+// pairwise overlap alignment over a per-subset seed index (a packed
+// k-mer table by default; the paper's suffix array remains selectable
+// via Config.Overlap.Indexing), overlap graph
 // construction, multilevel coarsening by heavy-edge matching, hybrid
 // graph construction from best-representative read clusters, multilevel
 // graph partitioning (greedy growing + Kernighan–Lin + global k-way
@@ -40,6 +42,17 @@ type Stats = assembly.Stats
 
 // TrimStats report what distributed graph trimming removed.
 type TrimStats = assembly.TrimStats
+
+// Indexing selects the overlap-stage seed index (re-exported so API users
+// outside the module can set Config.Overlap.Indexing).
+type Indexing = overlap.Indexing
+
+const (
+	// IndexKmerTable is the default packed k-mer seed index (fastest).
+	IndexKmerTable = overlap.IndexKmerTable
+	// IndexSuffixArray selects the paper's Larsson–Sadakane suffix array.
+	IndexSuffixArray = overlap.IndexSuffixArray
+)
 
 // Config bundles the per-stage configurations.
 type Config struct {

@@ -32,8 +32,6 @@ func (a Alignment) Identity() float64 {
 	return float64(a.Matches) / float64(a.Columns)
 }
 
-const negInf = int(-1) << 30
-
 // traceback directions.
 const (
 	tbNone byte = iota
@@ -42,11 +40,44 @@ const (
 	tbLeft // gap in a (consume b[j])
 )
 
+// Scratch holds reusable score/trace buffers for the banded DP so the
+// alignment inner loop performs zero heap allocations steady-state. A
+// Scratch is owned by exactly one goroutine at a time (it is not
+// internally synchronized); the buffers are borrowed by each call and
+// their contents are undefined between calls. The zero value is ready to
+// use and grows on demand.
+type Scratch struct {
+	score []int
+	trace []byte
+}
+
+// grow ensures capacity for n DP cells without clearing: every in-band
+// cell is written before it is read, and the traceback only follows
+// freshly written directions, so stale contents are never observed.
+func (s *Scratch) grow(n int) {
+	if cap(s.score) < n {
+		s.score = make([]int, n)
+		s.trace = make([]byte, n)
+	}
+	s.score = s.score[:n]
+	s.trace = s.trace[:n]
+}
+
 // BandedNW globally aligns a and b restricting the DP to |i-j| <= band
 // ("banded Needleman–Wunsch", paper §II.B). If the length difference
 // exceeds the band the band is widened to fit, since a global alignment
 // must reach the corner cell. It returns the alignment summary.
+// It allocates fresh DP buffers per call; hot paths should hold a Scratch
+// and call its method instead.
 func BandedNW(a, b []byte, band int, sc Scoring) Alignment {
+	var s Scratch
+	return s.BandedNW(a, b, band, sc)
+}
+
+// BandedNW is the buffer-reusing variant of the package-level BandedNW:
+// identical results, but the DP score/trace arrays are borrowed from the
+// Scratch, so steady-state calls allocate nothing.
+func (scr *Scratch) BandedNW(a, b []byte, band int, sc Scoring) Alignment {
 	if band < 0 {
 		band = 0
 	}
@@ -62,57 +93,73 @@ func BandedNW(a, b []byte, band int, sc Scoring) Alignment {
 		return Alignment{Score: (n + m) * sc.Gap, Matches: 0, Columns: n + m}
 	}
 	width := 2*band + 1
-	// score[i][k] with k = j - i + band, j in [i-band, i+band].
-	score := make([]int, (n+1)*width)
-	trace := make([]byte, (n+1)*width)
-	idx := func(i, j int) int { return i*width + (j - i + band) }
-	inBand := func(i, j int) bool { d := j - i; return d >= -band && d <= band && j >= 0 && j <= m }
+	// score[i][c] with c = j - i + band, j in [i-band, i+band]. In this
+	// layout a cell's neighbours sit at fixed offsets: diagonal (i-1,j-1)
+	// at the same c in the previous row, up (i-1,j) at c+1 in the previous
+	// row, left (i,j-1) at c-1 in the same row — so the kernel needs no
+	// per-cell index arithmetic or in-band predicate calls.
+	scr.grow((n + 1) * width)
+	score := scr.score
+	trace := scr.trace
 
-	for i := 0; i <= n; i++ {
-		for j := i - band; j <= i+band; j++ {
-			if j < 0 || j > m {
-				continue
+	// Row 0: pure-gap prefix of b.
+	score[band] = 0
+	trace[band] = tbNone
+	jHi0 := band
+	if jHi0 > m {
+		jHi0 = m
+	}
+	for j := 1; j <= jHi0; j++ {
+		score[band+j] = j * sc.Gap
+		trace[band+j] = tbLeft
+	}
+
+	for i := 1; i <= n; i++ {
+		rowOff := i * width
+		prevOff := rowOff - width
+		jLo, jHi := i-band, i+band
+		if jLo < 0 {
+			jLo = 0
+		}
+		if jHi > m {
+			jHi = m
+		}
+		j := jLo
+		if j == 0 {
+			// Column 0: pure-gap prefix of a.
+			p := rowOff + band - i
+			score[p] = i * sc.Gap
+			trace[p] = tbUp
+			j = 1
+		}
+		ai := a[i-1]
+		for ; j <= jHi; j++ {
+			c := j - i + band
+			p := rowOff + c
+			// Diagonal predecessor is always in band for i,j >= 1.
+			s := score[prevOff+c]
+			if ai == b[j-1] {
+				s += sc.Match
+			} else {
+				s += sc.Mismatch
 			}
-			p := idx(i, j)
-			switch {
-			case i == 0 && j == 0:
-				score[p] = 0
-				trace[p] = tbNone
-			case i == 0:
-				score[p] = j * sc.Gap
-				trace[p] = tbLeft
-			case j == 0:
-				score[p] = i * sc.Gap
-				trace[p] = tbUp
-			default:
-				best, dir := negInf, tbNone
-				if inBand(i-1, j-1) {
-					s := score[idx(i-1, j-1)]
-					if a[i-1] == b[j-1] {
-						s += sc.Match
-					} else {
-						s += sc.Mismatch
-					}
-					if s > best {
-						best, dir = s, tbDiag
-					}
+			best, dir := s, tbDiag
+			if c < 2*band { // up (i-1,j) in band
+				if s := score[prevOff+c+1] + sc.Gap; s > best {
+					best, dir = s, tbUp
 				}
-				if inBand(i-1, j) {
-					if s := score[idx(i-1, j)] + sc.Gap; s > best {
-						best, dir = s, tbUp
-					}
-				}
-				if inBand(i, j-1) {
-					if s := score[idx(i, j-1)] + sc.Gap; s > best {
-						best, dir = s, tbLeft
-					}
-				}
-				score[p] = best
-				trace[p] = dir
 			}
+			if c > 0 { // left (i,j-1) in band
+				if s := score[p-1] + sc.Gap; s > best {
+					best, dir = s, tbLeft
+				}
+			}
+			score[p] = best
+			trace[p] = dir
 		}
 	}
 
+	idx := func(i, j int) int { return i*width + (j - i + band) }
 	aln := Alignment{Score: score[idx(n, m)]}
 	// Traceback to count matches and columns.
 	i, j := n, m

@@ -66,6 +66,14 @@ func DefaultConfig() Config {
 // the overlap geometry, and applies the config thresholds. ok is false
 // when no acceptable overlap exists on that diagonal.
 func OverlapOnDiagonal(a, b []byte, diag int, cfg Config) (Overlap, bool) {
+	var s Scratch
+	return s.OverlapOnDiagonal(a, b, diag, cfg)
+}
+
+// OverlapOnDiagonal is the buffer-reusing variant of the package-level
+// function: identical results, with the banded DP running in the Scratch's
+// borrowed buffers (zero steady-state allocations).
+func (scr *Scratch) OverlapOnDiagonal(a, b []byte, diag int, cfg Config) (Overlap, bool) {
 	// The overlapping window in a is [aLo, aHi), in b it is [bLo, bHi).
 	aLo, bLo := diag, 0
 	if aLo < 0 {
@@ -80,7 +88,7 @@ func OverlapOnDiagonal(a, b []byte, diag int, cfg Config) (Overlap, bool) {
 	if aHi <= aLo || bHi <= bLo {
 		return Overlap{}, false
 	}
-	aln := BandedNW(a[aLo:aHi], b[bLo:bHi], cfg.Band, cfg.Scoring)
+	aln := scr.BandedNW(a[aLo:aHi], b[bLo:bHi], cfg.Band, cfg.Scoring)
 	ov := Overlap{
 		Length:   aln.Columns,
 		Identity: aln.Identity(),

@@ -30,13 +30,23 @@ func PackKmer(seq []byte, k int) (km Kmer, ok bool) {
 
 // String renders the k-mer as bases for the given k.
 func (km Kmer) String(k int) string {
-	buf := make([]byte, k)
+	return string(km.AppendBytes(make([]byte, 0, k), k))
+}
+
+// AppendBytes appends the k bases of the k-mer to dst and returns the
+// extended slice, allowing callers to unpack k-mers into a reused buffer
+// without allocating.
+func (km Kmer) AppendBytes(dst []byte, k int) []byte {
+	n := len(dst)
+	for i := 0; i < k; i++ {
+		dst = append(dst, 0)
+	}
 	v := uint64(km)
 	for i := k - 1; i >= 0; i-- {
-		buf[i] = codeBase[v&3]
+		dst[n+i] = codeBase[v&3]
 		v >>= 2
 	}
-	return string(buf)
+	return dst
 }
 
 // ReverseComplement returns the reverse complement of the k-mer for the
@@ -105,6 +115,37 @@ func (it *KmerIter) Next() (km Kmer, offset int, ok bool) {
 		}
 	}
 	return 0, 0, false
+}
+
+// ForEachKmer calls fn for every N-free k-mer window of seq in left-to-right
+// order, passing the packed k-mer and the offset of its first base. Windows
+// containing any non-ACGT byte (N, separators such as '#') are skipped, so
+// enumerating a concatenation of '#'-separated reads never yields a k-mer
+// spanning two reads. It performs no allocations.
+func ForEachKmer(seq []byte, k int, fn func(km Kmer, offset int)) {
+	if k <= 0 || k > MaxK {
+		panic(fmt.Sprintf("dna: k=%d out of range [1,%d]", k, MaxK))
+	}
+	var mask uint64
+	if k == 32 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << (2 * uint(k))) - 1
+	}
+	var cur uint64
+	valid := 0
+	for i := 0; i < len(seq); i++ {
+		c := baseCode[seq[i]]
+		if c == 0xFF {
+			valid, cur = 0, 0
+			continue
+		}
+		cur = (cur<<2 | uint64(c)) & mask
+		valid++
+		if valid >= k {
+			fn(Kmer(cur), i+1-k)
+		}
+	}
 }
 
 // CountKmers returns the number of k-mers (N-free windows) in seq.

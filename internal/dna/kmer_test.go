@@ -156,3 +156,100 @@ func TestNewKmerIterPanicsOnBadK(t *testing.T) {
 		}()
 	}
 }
+
+// TestForEachKmerMatchesIter checks the callback enumerator against the
+// iterator on mixed sequences.
+func TestForEachKmerMatchesIter(t *testing.T) {
+	seq := []byte("ACGTNACGTTGCA#GGGTTT")
+	k := 3
+	var got []struct {
+		km  Kmer
+		off int
+	}
+	ForEachKmer(seq, k, func(km Kmer, off int) {
+		got = append(got, struct {
+			km  Kmer
+			off int
+		}{km, off})
+	})
+	it := NewKmerIter(seq, k)
+	i := 0
+	for {
+		km, off, ok := it.Next()
+		if !ok {
+			break
+		}
+		if i >= len(got) || got[i].km != km || got[i].off != off {
+			t.Fatalf("entry %d mismatch", i)
+		}
+		i++
+	}
+	if i != len(got) {
+		t.Fatalf("ForEachKmer yielded %d k-mers, iterator %d", len(got), i)
+	}
+}
+
+// TestForEachKmerSeparatorsFuzz is a fuzz-style check of packed-k-mer
+// enumeration around '#' separators (the overlap indexer concatenates
+// reads with '#'): against a naive PackKmer-per-window reference, no
+// window spanning a separator or N may ever be emitted.
+func TestForEachKmerSeparatorsFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("ACGTN#")
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		n := rng.Intn(120)
+		seq := make([]byte, n)
+		for i := range seq {
+			// Bias toward real bases with occasional separators/Ns.
+			if rng.Intn(8) == 0 {
+				seq[i] = alphabet[4+rng.Intn(2)]
+			} else {
+				seq[i] = alphabet[rng.Intn(4)]
+			}
+		}
+		type ko struct {
+			km  Kmer
+			off int
+		}
+		var got []ko
+		ForEachKmer(seq, k, func(km Kmer, off int) {
+			got = append(got, ko{km, off})
+		})
+		var want []ko
+		for off := 0; off+k <= len(seq); off++ {
+			if km, ok := PackKmer(seq[off:off+k], k); ok {
+				want = append(want, ko{km, off})
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial=%d k=%d seq=%q: %d k-mers, want %d", trial, k, seq, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial=%d k=%d entry %d: %+v, want %+v", trial, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKmerAppendBytes(t *testing.T) {
+	km, ok := PackKmer([]byte("GATTACA"), 7)
+	if !ok {
+		t.Fatal("pack failed")
+	}
+	buf := km.AppendBytes([]byte("x"), 7)
+	if string(buf) != "xGATTACA" {
+		t.Errorf("AppendBytes = %q", buf)
+	}
+	// Reusing the buffer must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = km.AppendBytes(buf[:1], 7)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendBytes allocated %v times per run", allocs)
+	}
+	if km.String(7) != "GATTACA" {
+		t.Errorf("String = %q", km.String(7))
+	}
+}

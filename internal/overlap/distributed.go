@@ -2,6 +2,7 @@ package overlap
 
 import (
 	"sort"
+	"sync"
 
 	"focus/internal/dist"
 	"focus/internal/dna"
@@ -27,15 +28,22 @@ type AlignPairArgs struct {
 // AlignPairReply returns the accepted overlap records of one job.
 type AlignPairReply struct{ Records []Record }
 
+// scratchPool recycles worker scratches across AlignPair RPC calls:
+// net/rpc may serve requests concurrently, so the pool (rather than a
+// per-service field) keeps scratch ownership single-goroutine while still
+// amortizing buffers across jobs.
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
 // AlignPair executes one job (the worker half; assembly.Service exposes
 // it over RPC).
 func AlignPair(args *AlignPairArgs) []Record {
-	ref := buildIndex(args.RefSeqs, args.RefIDs)
-	refSeq := make(map[int32][]byte, len(args.RefIDs))
-	for i, id := range args.RefIDs {
-		refSeq[id] = args.RefSeqs[i]
-	}
-	return alignQueries(args.QueryIDs, args.QuerySeqs, ref, func(id int32) []byte { return refSeq[id] }, args.Cfg)
+	ref := buildRefIndex(args.RefSeqs, args.RefIDs, args.Cfg)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	recs := alignQueries(args.QueryIDs, args.QuerySeqs, ref, args.Cfg, sc)
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	return out
 }
 
 // FindOverlapsDistributed is FindOverlaps with the subset-pair jobs

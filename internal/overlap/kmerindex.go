@@ -1,0 +1,220 @@
+package overlap
+
+import (
+	"sort"
+
+	"focus/internal/dna"
+	"focus/internal/suffixarray"
+)
+
+// seedHit is one occurrence of a seed k-mer in a reference subset:
+// the subset-local read index and the offset of the k-mer within it.
+type seedHit struct {
+	read int32
+	off  int32
+}
+
+// refIndex is the seed-lookup structure built over one reference read
+// subset. Two implementations exist: the packed k-mer table (default,
+// IndexKmerTable) and the Larsson–Sadakane suffix array
+// (IndexSuffixArray). Both report exactly the same occurrence sets, so
+// FindOverlaps output is index-independent (asserted by
+// TestIndexingEquivalence).
+type refIndex interface {
+	numReads() int
+	readID(local int32) int32  // global read id
+	readSeq(local int32) []byte
+	// seedHits returns every occurrence of km in the subset. When
+	// maxOccur > 0 and the k-mer occurs more often than that, it returns
+	// masked=true and no hits (repeat masking). The returned slice is
+	// only valid until the next seedHits call on the same scratch.
+	seedHits(km dna.Kmer, maxOccur int, sc *scratch) (hits []seedHit, masked bool)
+}
+
+// buildRefIndex builds the configured index over a read subset. The seq
+// slices are retained (not copied); global[i] is the global read id of
+// subset-local read i.
+func buildRefIndex(seqs [][]byte, global []int32, cfg Config) refIndex {
+	if cfg.Indexing == IndexSuffixArray {
+		return buildSAIndex(seqs, global, cfg.K)
+	}
+	return buildKmerIndex(seqs, global, cfg.K)
+}
+
+// kmerIndex is a sorted packed k-mer table: every k-mer of the subset is
+// enumerated once at build time into (kmer, read, offset) entries sorted
+// by the 2-bit packed k-mer value. Probes are a single binary search over
+// a contiguous []uint64 (no byte comparisons, no per-hit position
+// decoding), repeat masking is a postings-length check, and lookups
+// allocate nothing.
+type kmerIndex struct {
+	k     int
+	reads []int32
+	seqs  [][]byte
+	keys  []uint64  // distinct packed k-mers, sorted ascending
+	start []int32   // len(keys)+1; postings of keys[i] at posts[start[i]:start[i+1]]
+	posts []seedHit // occurrences grouped by k-mer, (read, off)-sorted within a group
+}
+
+type kmerEntry struct {
+	key uint64
+	hit seedHit
+}
+
+func buildKmerIndex(seqs [][]byte, global []int32, k int) *kmerIndex {
+	ix := &kmerIndex{k: k, reads: global, seqs: seqs}
+	// Upper bound on the entry count (exact for N-free reads).
+	bound := 0
+	for _, s := range seqs {
+		if n := len(s) - k + 1; n > 0 {
+			bound += n
+		}
+	}
+	entries := make([]kmerEntry, 0, bound)
+	for r, s := range seqs {
+		r32 := int32(r)
+		dna.ForEachKmer(s, k, func(km dna.Kmer, off int) {
+			entries = append(entries, kmerEntry{key: uint64(km), hit: seedHit{read: r32, off: int32(off)}})
+		})
+	}
+	// LSD radix sort on the packed key: stable, so within equal k-mers the
+	// append order (read asc, offset asc) is preserved. Only ceil(2k/8)
+	// byte passes are needed since a k-mer occupies the low 2k bits; this
+	// is several times faster than comparison sorting at index-build time.
+	entries = radixSortByKey(entries, k)
+	// Compact into distinct keys + grouped postings (exact capacities).
+	distinct := 0
+	for i := range entries {
+		if i == 0 || entries[i].key != entries[i-1].key {
+			distinct++
+		}
+	}
+	ix.keys = make([]uint64, 0, distinct)
+	ix.start = make([]int32, 0, distinct+1)
+	ix.posts = make([]seedHit, len(entries))
+	for i := range entries {
+		if i == 0 || entries[i].key != entries[i-1].key {
+			ix.keys = append(ix.keys, entries[i].key)
+			ix.start = append(ix.start, int32(i))
+		}
+		ix.posts[i] = entries[i].hit
+	}
+	ix.start = append(ix.start, int32(len(entries)))
+	return ix
+}
+
+// radixSortByKey sorts entries ascending by key with a stable LSD radix
+// sort over the low 2k bits (8-bit digits). It returns the sorted slice,
+// which may be the scratch buffer rather than the input.
+func radixSortByKey(entries []kmerEntry, k int) []kmerEntry {
+	if len(entries) < 2 {
+		return entries
+	}
+	passes := (2*k + 7) / 8
+	buf := make([]kmerEntry, len(entries))
+	src, dst := entries, buf
+	for p := 0; p < passes; p++ {
+		shift := uint(8 * p)
+		var count [256]int
+		for i := range src {
+			count[(src[i].key>>shift)&0xFF]++
+		}
+		if count[src[0].key>>shift&0xFF] == len(src) {
+			continue // all entries share this digit: pass is a no-op
+		}
+		sum := 0
+		for d := range count {
+			count[d], sum = sum, count[d]+sum
+		}
+		for i := range src {
+			d := (src[i].key >> shift) & 0xFF
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+func (ix *kmerIndex) numReads() int              { return len(ix.reads) }
+func (ix *kmerIndex) readID(local int32) int32   { return ix.reads[local] }
+func (ix *kmerIndex) readSeq(local int32) []byte { return ix.seqs[local] }
+
+func (ix *kmerIndex) seedHits(km dna.Kmer, maxOccur int, _ *scratch) ([]seedHit, bool) {
+	v := uint64(km)
+	// Hand-rolled binary search: no closure, provably allocation-free.
+	lo, hi := 0, len(ix.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.keys[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ix.keys) || ix.keys[lo] != v {
+		return nil, false
+	}
+	a, b := ix.start[lo], ix.start[lo+1]
+	if maxOccur > 0 && int(b-a) > maxOccur {
+		return nil, true
+	}
+	return ix.posts[a:b], false
+}
+
+// saIndex is the original suffix-array index over the concatenation of
+// one read subset, with '#' separators so matches cannot span reads. Kept
+// selectable (IndexSuffixArray) so the Larsson–Sadakane code stays
+// exercised and as the reference for the cross-index equivalence tests.
+type saIndex struct {
+	sa *suffixarray.Array
+	k  int
+	// starts[i] is the offset of read i (subset-local) in the text.
+	starts []int
+	reads  []int32
+	seqs   [][]byte
+}
+
+func buildSAIndex(seqs [][]byte, global []int32, k int) *saIndex {
+	total := 0
+	for _, s := range seqs {
+		total += len(s) + 1
+	}
+	text := make([]byte, 0, total)
+	ix := &saIndex{k: k, reads: global, seqs: seqs, starts: make([]int, 0, len(seqs))}
+	for _, s := range seqs {
+		ix.starts = append(ix.starts, len(text))
+		text = append(text, s...)
+		text = append(text, '#')
+	}
+	ix.sa = suffixarray.New(text)
+	return ix
+}
+
+func (ix *saIndex) numReads() int              { return len(ix.reads) }
+func (ix *saIndex) readID(local int32) int32   { return ix.reads[local] }
+func (ix *saIndex) readSeq(local int32) []byte { return ix.seqs[local] }
+
+// locate maps a text position to (subset-local read, offset within read).
+func (ix *saIndex) locate(pos int) (read, off int) {
+	i := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] > pos }) - 1
+	return i, pos - ix.starts[i]
+}
+
+func (ix *saIndex) seedHits(km dna.Kmer, maxOccur int, sc *scratch) ([]seedHit, bool) {
+	sc.pat = km.AppendBytes(sc.pat[:0], ix.k)
+	maxHits := -1
+	if maxOccur > 0 {
+		maxHits = maxOccur + 1
+	}
+	positions := ix.sa.Lookup(sc.pat, maxHits)
+	if maxOccur > 0 && len(positions) > maxOccur {
+		return nil, true
+	}
+	sc.saHits = sc.saHits[:0]
+	for _, pos := range positions {
+		r, off := ix.locate(pos)
+		sc.saHits = append(sc.saHits, seedHit{read: int32(r), off: int32(off)})
+	}
+	return sc.saHits, false
+}

@@ -1,0 +1,178 @@
+package overlap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"focus/internal/dna"
+)
+
+// rcReadSet builds a randomized read set with the geometries the overlap
+// stage must classify: tiling overlaps, reverse-complement pairs and
+// contained reads.
+func rcReadSet(seed int64, genomeLen int) []dna.Read {
+	rng := rand.New(rand.NewSource(seed))
+	genome := randGenome(seed, genomeLen)
+	reads := tilingReads(genome, 100, 40)
+	// Reverse-complement half of the tiling reads (preprocessing adds RC
+	// mates in the real pipeline, so both orientations co-occur).
+	for i := range reads {
+		if rng.Intn(2) == 0 {
+			reads[i].Seq = dna.ReverseComplement(reads[i].Seq)
+		}
+	}
+	// Contained reads: short fragments cut from random positions.
+	for i := 0; i < len(reads)/4; i++ {
+		pos := rng.Intn(genomeLen - 70)
+		frag := append([]byte(nil), genome[pos:pos+60+rng.Intn(10)]...)
+		if rng.Intn(2) == 0 {
+			dna.ReverseComplementInPlace(frag)
+		}
+		reads = append(reads, dna.Read{ID: "frag", Seq: frag})
+	}
+	return reads
+}
+
+// TestIndexingEquivalence asserts the acceptance criterion: FindOverlaps
+// returns byte-identical, sorted records under IndexSuffixArray and
+// IndexKmerTable on randomized read sets (including reverse-complement
+// pairs and containments), across subset counts and seeding modes.
+func TestIndexingEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"minimizer", func(c *Config) { c.Seeding = SeedMinimizer }},
+		{"maxoccur8", func(c *Config) { c.MaxOccur = 8 }},
+		{"step1", func(c *Config) { c.Step = 1 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(60); seed < 64; seed++ {
+				reads := rcReadSet(seed, 1800)
+				for _, subsets := range []int{1, 3} {
+					cfg := testConfig()
+					tc.mut(&cfg)
+					cfg.Indexing = IndexSuffixArray
+					want, err := FindOverlaps(reads, subsets, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Indexing = IndexKmerTable
+					got, err := FindOverlaps(reads, subsets, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("seed=%d subsets=%d: %d records (kmer) vs %d (suffix array)", seed, subsets, len(got), len(want))
+					}
+					if len(want) == 0 {
+						t.Fatalf("seed=%d: no overlaps found at all", seed)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("seed=%d subsets=%d record %d: %+v (kmer) vs %+v (suffix array)", seed, subsets, i, got[i], want[i])
+						}
+					}
+					if !sort.SliceIsSorted(got, func(i, j int) bool {
+						if got[i].A != got[j].A {
+							return got[i].A < got[j].A
+						}
+						return got[i].B < got[j].B
+					}) {
+						t.Fatalf("seed=%d: records not sorted", seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeedHitsEquivalence compares the two indexes at the probe level:
+// identical occurrence sets and identical repeat-mask decisions for every
+// k-mer of the indexed reads, including reads containing Ns.
+func TestSeedHitsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		k := 4 + rng.Intn(12)
+		numReads := 1 + rng.Intn(12)
+		seqs := make([][]byte, numReads)
+		ids := make([]int32, numReads)
+		for i := range seqs {
+			n := k/2 + rng.Intn(60) // some reads shorter than k
+			s := make([]byte, n)
+			for j := range s {
+				if rng.Intn(20) == 0 {
+					s[j] = 'N' // exercise invalid-window skipping
+				} else {
+					s[j] = "ACGT"[rng.Intn(4)]
+				}
+			}
+			seqs[i] = s
+			ids[i] = int32(100 + i)
+		}
+		cfg := Config{K: k}
+		kix := buildRefIndex(seqs, ids, cfg)
+		cfg.Indexing = IndexSuffixArray
+		six := buildRefIndex(seqs, ids, cfg)
+		maxOccur := rng.Intn(4) // 0 = unlimited
+		sc1, sc2 := new(scratch), new(scratch)
+		probe := func(km dna.Kmer) {
+			h1, m1 := kix.seedHits(km, maxOccur, sc1)
+			h2, m2 := six.seedHits(km, maxOccur, sc2)
+			if m1 != m2 {
+				t.Fatalf("trial=%d k=%d km=%s: masked %v (kmer) vs %v (sa)", trial, k, km.String(k), m1, m2)
+			}
+			s1 := append([]seedHit(nil), h1...)
+			s2 := append([]seedHit(nil), h2...)
+			less := func(s []seedHit) func(i, j int) bool {
+				return func(i, j int) bool {
+					if s[i].read != s[j].read {
+						return s[i].read < s[j].read
+					}
+					return s[i].off < s[j].off
+				}
+			}
+			sort.Slice(s1, less(s1))
+			sort.Slice(s2, less(s2))
+			if len(s1) != len(s2) {
+				t.Fatalf("trial=%d k=%d km=%s: %d hits (kmer) vs %d (sa)", trial, k, km.String(k), len(s1), len(s2))
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					t.Fatalf("trial=%d km=%s hit %d: %+v vs %+v", trial, km.String(k), i, s1[i], s2[i])
+				}
+			}
+		}
+		for _, s := range seqs {
+			it := dna.NewKmerIter(s, k)
+			for {
+				km, _, ok := it.Next()
+				if !ok {
+					break
+				}
+				probe(km)
+			}
+		}
+		// Random probes too (mostly absent k-mers).
+		for i := 0; i < 50; i++ {
+			probe(dna.Kmer(rng.Uint64() & (1<<(2*uint(k)) - 1)))
+		}
+	}
+}
+
+// TestValidateRejectsUnknownIndexing covers the new config validation.
+func TestValidateRejectsUnknownIndexing(t *testing.T) {
+	cfg := testConfig()
+	cfg.Indexing = Indexing(9)
+	if _, err := FindOverlaps(rcReadSet(1, 500), 1, cfg); err == nil {
+		t.Error("unknown indexing mode accepted")
+	}
+	if got := cfg.Indexing.String(); got != "Indexing(9)" {
+		t.Errorf("String() = %q", got)
+	}
+	if IndexKmerTable.String() != "kmer-table" || IndexSuffixArray.String() != "suffix-array" {
+		t.Error("mode names changed")
+	}
+}

@@ -29,30 +29,32 @@ func mixKmer(v uint64) uint64 {
 	return v
 }
 
-// minimizerOffsets returns the sorted distinct offsets of the
-// (w,k)-minimizers of seq. Windows containing N are handled by the k-mer
-// iterator (N-spanning k-mers never become minimizers).
-func minimizerOffsets(seq []byte, k, w int) []int {
+// minimKm is one hashed k-mer occurrence considered for minimizer
+// selection.
+type minimKm struct {
+	off  int
+	hash uint64
+}
+
+// appendMinimizerOffsets computes the sorted distinct offsets of the
+// (w,k)-minimizers of seq into sc.seedOffs (reusing sc.minimKms as the
+// hash staging buffer) and returns the offsets slice, which is valid until
+// the scratch's next query. Windows containing N are handled by the k-mer
+// enumerator (N-spanning k-mers never become minimizers).
+func appendMinimizerOffsets(sc *scratch, seq []byte, k, w int) []int {
 	if w < 1 {
 		w = 1
 	}
-	type km struct {
-		off  int
-		hash uint64
-	}
-	var kms []km
-	it := dna.NewKmerIter(seq, k)
-	for {
-		v, off, ok := it.Next()
-		if !ok {
-			break
-		}
-		kms = append(kms, km{off: off, hash: mixKmer(uint64(v))})
-	}
+	sc.minimKms = sc.minimKms[:0]
+	dna.ForEachKmer(seq, k, func(v dna.Kmer, off int) {
+		sc.minimKms = append(sc.minimKms, minimKm{off: off, hash: mixKmer(uint64(v))})
+	})
+	kms := sc.minimKms
+	sc.seedOffs = sc.seedOffs[:0]
 	if len(kms) == 0 {
 		return nil
 	}
-	var out []int
+	out := sc.seedOffs
 	last := -1
 	// Sliding window minimum via simple scan: windows are short (w ~ 8),
 	// so the O(n*w) scan beats a deque in practice at these sizes.
@@ -77,13 +79,21 @@ func minimizerOffsets(seq []byte, k, w int) []int {
 		}
 		out = append(out, kms[min].off)
 	}
+	sc.seedOffs = out
 	return out
 }
 
-// seedOffsets returns the query offsets to look up for one read under the
-// configured seeding mode. Returns nil for SeedStep, which the caller
-// implements inline (it needs no precomputation).
-func seedOffsets(seq []byte, cfg Config) map[int]bool {
+// minimizerOffsets is the allocating convenience wrapper used by tests.
+func minimizerOffsets(seq []byte, k, w int) []int {
+	var sc scratch
+	return appendMinimizerOffsets(&sc, seq, k, w)
+}
+
+// seedOffsets returns the sorted query offsets to look up for one read
+// under the configured seeding mode, staged in the scratch. Returns nil
+// for SeedStep, which the caller implements inline (it needs no
+// precomputation).
+func seedOffsets(sc *scratch, seq []byte, cfg Config) []int {
 	if cfg.Seeding != SeedMinimizer {
 		return nil
 	}
@@ -91,10 +101,5 @@ func seedOffsets(seq []byte, cfg Config) map[int]bool {
 	if w <= 0 {
 		w = 8
 	}
-	offs := minimizerOffsets(seq, cfg.K, w)
-	set := make(map[int]bool, len(offs))
-	for _, o := range offs {
-		set[o] = true
-	}
-	return set
+	return appendMinimizerOffsets(sc, seq, cfg.K, w)
 }

@@ -1,21 +1,24 @@
 // Package overlap implements the Focus parallel read alignment stage
 // (paper §II.B): read subsets are paired, each reference subset is indexed
-// by a suffix array, query reads are decomposed into k-mers, reference
-// reads collecting enough k-mer hits are aligned with banded
-// Needleman–Wunsch, and accepted overlaps are recorded as the edge list of
-// the overlap graph G0.
+// for seed lookup (a packed k-mer table by default, or a suffix array),
+// query reads are decomposed into k-mers, reference reads collecting
+// enough k-mer hits are aligned with banded Needleman–Wunsch, and accepted
+// overlaps are recorded as the edge list of the overlap graph G0.
+//
+// The hot path is allocation-free steady-state: each worker owns a scratch
+// (candidate table, diagonal votes, alignment DP buffers) reused across
+// every query of every subset-pair job it processes. See DESIGN.md
+// ("Seed index & scratch reuse") for the layout and the ownership rules.
 package overlap
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"focus/internal/align"
 	"focus/internal/dna"
 	"focus/internal/graph"
-	"focus/internal/suffixarray"
 )
 
 // Record is one accepted overlap between reads A and B (indices into the
@@ -27,6 +30,34 @@ type Record struct {
 	Len      int32
 	Identity float32
 	Diag     int32 // offset of B's start in A coordinates
+}
+
+// Indexing selects the seed-lookup structure built over each reference
+// subset.
+type Indexing uint8
+
+const (
+	// IndexKmerTable (the default) is a sorted packed k-mer table:
+	// O(log n) integer binary search per probe, pre-resolved (read,
+	// offset) postings, allocation-free lookups. Fastest for the fixed-k
+	// probes overlap detection issues.
+	IndexKmerTable Indexing = iota
+	// IndexSuffixArray is the Larsson–Sadakane suffix array over the
+	// '#'-separated subset text (the paper's structure). Supports
+	// arbitrary-length patterns; slower per probe (byte comparisons plus
+	// a per-hit position decode).
+	IndexSuffixArray
+)
+
+// String implements fmt.Stringer.
+func (ix Indexing) String() string {
+	switch ix {
+	case IndexKmerTable:
+		return "kmer-table"
+	case IndexSuffixArray:
+		return "suffix-array"
+	}
+	return fmt.Sprintf("Indexing(%d)", uint8(ix))
 }
 
 // Config controls overlap detection.
@@ -41,6 +72,9 @@ type Config struct {
 	// (MinimizerW, K)-minimizers instead of every Step-th k-mer.
 	Seeding    Seeding
 	MinimizerW int // minimizer window in k-mers (default 8)
+	// Indexing selects the reference seed index; both modes return
+	// identical overlap records (the k-mer table is faster).
+	Indexing Indexing
 }
 
 // DefaultConfig returns a configuration tuned for 100 bp reads, with the
@@ -53,39 +87,62 @@ func DefaultConfig() Config {
 		MaxOccur:    64,
 		Align:       align.DefaultConfig(),
 		Workers:     0,
+		Indexing:    IndexKmerTable,
 	}
 }
 
-// subsetIndex is a suffix-array index over the concatenation of one read
-// subset, with '#' separators so matches cannot span reads.
-type subsetIndex struct {
-	sa *suffixarray.Array
-	// starts[i] is the offset of read i (subset-local) in the text;
-	// reads[i] is its global read index.
-	starts []int
-	reads  []int32
+// scratch is the reusable per-worker state of the alignment inner loop.
+// One scratch is owned by exactly one goroutine at a time; reusing it
+// across jobs keeps the steady-state loop free of heap allocations.
+type scratch struct {
+	align align.Scratch // DP score/trace buffers for banded NW
+
+	// Candidate accumulation, keyed by subset-local read index. gen is a
+	// generation counter bumped per query so the table is "cleared" in
+	// O(1): entries whose gen lags are stale.
+	gen     uint32
+	cands   []candState
+	touched []int32 // local reads first-hit this query, in hit order
+
+	pat    []byte    // saIndex: unpacked probe pattern buffer
+	saHits []seedHit // saIndex: located (read, offset) hits buffer
+
+	minimKms []minimKm // minimizer seeding: per-read k-mer hash buffer
+	seedOffs []int     // minimizer seeding: selected offsets buffer
+
+	records []Record // per-job output staging (caller copies)
 }
 
-func buildIndex(readSeqs [][]byte, global []int32) *subsetIndex {
-	total := 0
-	for _, s := range readSeqs {
-		total += len(s) + 1
-	}
-	text := make([]byte, 0, total)
-	idx := &subsetIndex{reads: global}
-	for _, s := range readSeqs {
-		idx.starts = append(idx.starts, len(text))
-		text = append(text, s...)
-		text = append(text, '#')
-	}
-	idx.sa = suffixarray.New(text)
-	return idx
+// candState accumulates seed evidence for one reference read against the
+// current query: hit count plus diagonal votes for modal-diagonal
+// estimation. diags is reused across generations by truncation, so after
+// warm-up no per-query allocation happens.
+type candState struct {
+	gen   uint32
+	hits  int32
+	diags []diagVote
 }
 
-// locate maps a text position to (subset-local read, offset within read).
-func (ix *subsetIndex) locate(pos int) (read, off int) {
-	i := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] > pos }) - 1
-	return i, pos - ix.starts[i]
+type diagVote struct{ d, n int32 }
+
+// reset prepares the scratch for a reference subset of n reads.
+func (sc *scratch) reset(n int) {
+	if len(sc.cands) < n {
+		sc.cands = make([]candState, n)
+		sc.gen = 0
+	}
+}
+
+// nextQuery starts a new query generation, handling uint32 wraparound.
+func (sc *scratch) nextQuery() {
+	sc.gen++
+	if sc.gen == 0 { // wrapped: stale entries could alias, hard-clear
+		for i := range sc.cands {
+			sc.cands[i].gen = 0
+		}
+		sc.gen = 1
+	}
+	sc.touched = sc.touched[:0]
 }
 
 // FindOverlaps detects all pairwise overlaps in reads, processing
@@ -105,10 +162,23 @@ func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 	for i := 0; i <= subsets; i++ {
 		bounds[i] = i * len(reads) / subsets
 	}
-	seqOf := func(i int32) []byte { return reads[i].Seq }
+	// Per-subset id/sequence slices, shared by the query side of the pair
+	// jobs and by the index builders.
+	subIDs := make([][]int32, subsets)
+	subSeqs := make([][][]byte, subsets)
+	for s := 0; s < subsets; s++ {
+		n := bounds[s+1] - bounds[s]
+		ids := make([]int32, n)
+		seqs := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			ids[i] = int32(bounds[s] + i)
+			seqs[i] = reads[bounds[s]+i].Seq
+		}
+		subIDs[s], subSeqs[s] = ids, seqs
+	}
 
 	// Build one index per subset (reused across pair jobs).
-	indexes := make([]*subsetIndex, subsets)
+	indexes := make([]refIndex, subsets)
 	var iwg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for s := 0; s < subsets; s++ {
@@ -117,19 +187,13 @@ func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 			defer iwg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			var seqs [][]byte
-			var global []int32
-			for i := bounds[s]; i < bounds[s+1]; i++ {
-				seqs = append(seqs, reads[i].Seq)
-				global = append(global, int32(i))
-			}
-			indexes[s] = buildIndex(seqs, global)
+			indexes[s] = buildRefIndex(subSeqs[s], subIDs[s], cfg)
 		}(s)
 	}
 	iwg.Wait()
 
 	type pair struct{ q, r int }
-	var jobs []pair
+	jobs := make([]pair, 0, subsets*(subsets+1)/2)
 	for i := 0; i < subsets; i++ {
 		for j := i; j < subsets; j++ {
 			jobs = append(jobs, pair{i, j})
@@ -143,9 +207,13 @@ func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := new(scratch) // worker-owned; never shared
 			for jid := range jobCh {
 				j := jobs[jid]
-				results[jid] = alignSubsetPair(bounds[j.q], bounds[j.q+1], indexes[j.r], seqOf, cfg)
+				recs := alignQueries(subIDs[j.q], subSeqs[j.q], indexes[j.r], cfg, sc)
+				out := make([]Record, len(recs))
+				copy(out, recs)
+				results[jid] = out
 			}
 		}()
 	}
@@ -164,41 +232,30 @@ func validate(cfg Config, subsets int) error {
 	if cfg.K <= 0 || cfg.K > dna.MaxK {
 		return fmt.Errorf("overlap: k=%d out of range", cfg.K)
 	}
+	if cfg.Indexing > IndexSuffixArray {
+		return fmt.Errorf("overlap: unknown indexing mode %d", cfg.Indexing)
+	}
 	if subsets <= 0 {
 		return fmt.Errorf("overlap: %d subsets", subsets)
 	}
 	return nil
 }
 
-// alignSubsetPair aligns every query read in [qLo,qHi) against the
-// reference index, returning canonicalized records.
-func alignSubsetPair(qLo, qHi int, ref *subsetIndex, seqOf func(int32) []byte, cfg Config) []Record {
-	ids := make([]int32, 0, qHi-qLo)
-	seqs := make([][]byte, 0, qHi-qLo)
-	for q := qLo; q < qHi; q++ {
-		ids = append(ids, int32(q))
-		seqs = append(seqs, seqOf(int32(q)))
-	}
-	return alignQueries(ids, seqs, ref, seqOf, cfg)
-}
-
 // alignQueries aligns the given query reads against the reference index,
-// returning canonicalized records. refSeq resolves a global read id from
-// the index back to its sequence.
-func alignQueries(queryIDs []int32, querySeqs [][]byte, ref *subsetIndex, refSeq func(int32) []byte, cfg Config) []Record {
+// returning canonicalized records. The returned slice is staged in the
+// scratch and is only valid until the scratch's next job: callers that
+// retain it must copy.
+func alignQueries(queryIDs []int32, querySeqs [][]byte, ref refIndex, cfg Config, sc *scratch) []Record {
 	if cfg.Step <= 0 {
 		cfg.Step = 1
 	}
-	var out []Record
-	// votes per candidate reference read: modal diagonal estimation.
-	type cand struct {
-		hits int
-		diag map[int]int
-	}
+	sc.reset(ref.numReads())
+	sc.records = sc.records[:0]
 	for qi2, qi := range queryIDs {
 		qseq := querySeqs[qi2]
-		cands := map[int32]*cand{}
-		selected := seedOffsets(qseq, cfg)
+		sc.nextQuery()
+		selected := seedOffsets(sc, qseq, cfg) // nil for SeedStep
+		si := 0
 		it := dna.NewKmerIter(qseq, cfg.K)
 		next := 0
 		for {
@@ -207,53 +264,66 @@ func alignQueries(queryIDs []int32, querySeqs [][]byte, ref *subsetIndex, refSeq
 				break
 			}
 			if selected != nil {
-				if !selected[off] {
+				if si == len(selected) {
+					break
+				}
+				if off != selected[si] {
 					continue
 				}
+				si++
 			} else if off < next {
 				continue
 			}
 			next = off + cfg.Step
-			pat := []byte(km.String(cfg.K))
-			maxHits := -1
-			if cfg.MaxOccur > 0 {
-				maxHits = cfg.MaxOccur + 1
-			}
-			hits := ref.sa.Lookup(pat, maxHits)
-			if cfg.MaxOccur > 0 && len(hits) > cfg.MaxOccur {
+			hits, masked := ref.seedHits(km, cfg.MaxOccur, sc)
+			if masked {
 				continue // repeat-masked seed
 			}
-			for _, pos := range hits {
-				lr, loff := ref.locate(pos)
-				g := ref.reads[lr]
-				if g == qi {
+			for _, h := range hits {
+				if ref.readID(h.read) == qi {
 					continue
 				}
-				c := cands[g]
-				if c == nil {
-					c = &cand{diag: map[int]int{}}
-					cands[g] = c
+				c := &sc.cands[h.read]
+				if c.gen != sc.gen {
+					c.gen = sc.gen
+					c.hits = 0
+					c.diags = c.diags[:0]
+					sc.touched = append(sc.touched, h.read)
 				}
 				c.hits++
 				// diag: offset of reference read start in query coords.
-				c.diag[off-loff]++
+				d := int32(off) - h.off
+				voted := false
+				for i := range c.diags {
+					if c.diags[i].d == d {
+						c.diags[i].n++
+						voted = true
+						break
+					}
+				}
+				if !voted {
+					c.diags = append(c.diags, diagVote{d: d, n: 1})
+				}
 			}
 		}
-		for g, c := range cands {
-			if c.hits < cfg.MinKmerHits {
+		for _, local := range sc.touched {
+			c := &sc.cands[local]
+			if c.hits < int32(cfg.MinKmerHits) {
 				continue
 			}
 			// Only emit canonical direction to halve the work; the pair
 			// (g, q) will not be separately attempted because dedup is on
 			// canonical (A,B) anyway, and alignment is symmetric.
-			diag := 0
-			best := -1
-			for d, n := range c.diag {
-				if n > best || (n == best && d < diag) {
-					best, diag = n, d
+			// Modal diagonal, ties broken toward the smaller diagonal.
+			var diag int32
+			best := int32(-1)
+			for _, v := range c.diags {
+				if v.n > best || (v.n == best && v.d < diag) {
+					best, diag = v.n, v.d
 				}
 			}
-			ov, ok := align.OverlapOnDiagonal(qseq, refSeq(g), diag, cfg.Align)
+			g := ref.readID(local)
+			ov, ok := sc.align.OverlapOnDiagonal(qseq, ref.readSeq(local), int(diag), cfg.Align)
 			if !ok {
 				continue
 			}
@@ -261,10 +331,10 @@ func alignQueries(queryIDs []int32, querySeqs [][]byte, ref *subsetIndex, refSeq
 			if rec.A > rec.B {
 				rec = rec.Flip()
 			}
-			out = append(out, rec)
+			sc.records = append(sc.records, rec)
 		}
 	}
-	return out
+	return sc.records
 }
 
 // Flip returns the record with A and B exchanged and the geometry

@@ -44,8 +44,16 @@ func (a *Array) Lookup(pattern []byte, max int) []int {
 	lo := sort.Search(len(a.sa), func(i int) bool {
 		return bytes.Compare(a.suffix(i), pattern) >= 0
 	})
-	// And the first suffix that does not have pattern as a prefix.
-	hi := lo + sort.Search(len(a.sa)-lo, func(i int) bool {
+	// And the first suffix that does not have pattern as a prefix. When a
+	// cap is given, only the first max positions (in suffix-array order)
+	// can be returned, so the scan window is clamped to max: repeat-masked
+	// probes (overlap.Config.MaxOccur) never pay for the full occurrence
+	// range of a high-frequency pattern.
+	window := len(a.sa) - lo
+	if max > 0 && window > max {
+		window = max
+	}
+	hi := lo + sort.Search(window, func(i int) bool {
 		return !bytes.HasPrefix(a.suffix(lo+i), pattern)
 	})
 	if hi == lo {

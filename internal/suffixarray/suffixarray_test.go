@@ -161,6 +161,62 @@ func TestLookupMax(t *testing.T) {
 	}
 }
 
+// TestLookupMaxMatchesUncapped asserts the clamped scan window introduced
+// for capped lookups is invisible to callers: for every max, the result
+// equals the first max positions (in suffix-array order) of the uncapped
+// lookup.
+func TestLookupMaxMatchesUncapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	data := make([]byte, 800)
+	for i := range data {
+		data[i] = byte("ACGT"[rng.Intn(4)]) // small alphabet: many repeats
+	}
+	a := New(data)
+	for trial := 0; trial < 300; trial++ {
+		plen := 1 + rng.Intn(6)
+		at := rng.Intn(len(data) - plen)
+		pattern := data[at : at+plen]
+		full := a.Lookup(pattern, -1)
+		for _, max := range []int{1, 2, 3, 5, len(full), len(full) + 7} {
+			got := a.Lookup(pattern, max)
+			want := full
+			if max < len(want) {
+				want = want[:max]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("pattern %q max=%d: %d hits, want %d", pattern, max, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("pattern %q max=%d hit %d: %d, want %d", pattern, max, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkLookupCapped shows the early-stop win: capped lookups of a
+// high-frequency pattern no longer scan the full occurrence range.
+func BenchmarkLookupCapped(b *testing.B) {
+	data := bytes.Repeat([]byte("ACGT"), 25_000)
+	a := New(data)
+	pattern := []byte("ACGTACGT")
+	for _, max := range []int{-1, 65} {
+		name := "uncapped"
+		if max > 0 {
+			name = "max65"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := a.Lookup(pattern, max); len(got) == 0 {
+					b.Fatal("no hits")
+				}
+			}
+		})
+	}
+}
+
 func TestLookupMatchesNaiveScan(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	data := make([]byte, 500)
