@@ -43,7 +43,9 @@ func main() {
 		doPolish  = flag.Bool("polish", false, "deduplicate strands and polish contigs by read realignment before output")
 		stateful  = flag.Bool("stateful", false, "use the stateful worker protocol (ship partitions once, then removal deltas)")
 		distAlign = flag.Bool("distributed-align", false, "run read alignment on the worker pool instead of local goroutines")
-		retries   = flag.Int("rpc-retries", 0, "failover retries per partition task (stateless protocol only)")
+		retries   = flag.Int("rpc-retries", 0, "failover retries per task after application-level worker errors (stateless protocols only)")
+		callTO    = flag.Duration("call-timeout", 0, "per-RPC deadline; a worker exceeding it is disconnected and its task rescheduled (0 = no deadline)")
+		maxFails  = flag.Int("max-worker-failures", 0, "consecutive transport failures before a worker is permanently evicted (0 = default 3)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -69,16 +71,19 @@ func main() {
 	cfg.Assembly.MinEdgeIdentity = *minIdent
 	cfg.Assembly.Stateful = *stateful
 	cfg.Assembly.RPCRetries = *retries
+	cfg.Overlap.RPCRetries = *retries
 	cfg.CallVariants = *variants
+	cfg.Dist.CallTimeout = *callTO
+	cfg.Dist.MaxFailures = *maxFails
 
 	var pool *dist.Pool
 	if *addrs != "" {
-		pool, err = dist.DialPool(strings.Split(*addrs, ","))
+		pool, err = dist.DialPoolOpts(strings.Split(*addrs, ","), cfg.Dist)
 	} else {
 		if *workers <= 0 {
 			*workers = 1
 		}
-		pool, err = dist.NewLocalPool(*workers, assembly.NewService)
+		pool, err = dist.NewLocalPoolOpts(*workers, assembly.NewService, cfg.Dist)
 	}
 	if err != nil {
 		fatal(err)

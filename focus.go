@@ -69,6 +69,11 @@ type Config struct {
 	// before the error-removal phase pops them.
 	CallVariants bool
 	Variants     assembly.VariantConfig
+	// Dist configures the worker pool's fault tolerance (per-call
+	// deadlines, eviction thresholds, reconnect backoff) for pools the
+	// pipeline creates itself (Assemble). The zero value disables
+	// deadlines.
+	Dist dist.Options
 }
 
 // Variant is a distributed variant call (re-exported).
@@ -389,7 +394,7 @@ func Assemble(raw []Read, cfg Config, k, workers int) (*AssemblyResult, *Stages,
 	if workers <= 0 {
 		workers = 1
 	}
-	pool, err := dist.NewLocalPool(workers, assembly.NewService)
+	pool, err := dist.NewLocalPoolOpts(workers, assembly.NewService, cfg.Dist)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,7 +1,9 @@
 package assembly
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -23,16 +25,21 @@ type Driver struct {
 
 	runID        string
 	loaded       bool
+	localOnly    bool // degraded mode: pool unusable, phases run on the master
 	pendingNodes []int32
 	pendingEdges []EdgePair
 }
+
+// Degraded reports whether the driver has fallen back to local (master-
+// side) phase execution because the worker pool became unusable.
+func (d *Driver) Degraded() bool { return d.localOnly }
 
 var runCounter int64
 
 // removeEdge deletes an edge and records it for the next stateful delta.
 func (d *Driver) removeEdge(e EdgePair) {
 	d.G.RemoveEdge(e.From, e.To)
-	if d.Cfg.Stateful {
+	if d.Cfg.Stateful && !d.localOnly {
 		d.pendingEdges = append(d.pendingEdges, e)
 	}
 }
@@ -40,7 +47,7 @@ func (d *Driver) removeEdge(e EdgePair) {
 // removeNode deletes a node and records it for the next stateful delta.
 func (d *Driver) removeNode(v int32) {
 	d.G.RemoveNode(v)
-	if d.Cfg.Stateful {
+	if d.Cfg.Stateful && !d.localOnly {
 		d.pendingNodes = append(d.pendingNodes, v)
 	}
 }
@@ -56,7 +63,9 @@ func (d *Driver) ensureLoaded() error {
 	for i := range replies {
 		replies[i] = &LoadReply{}
 	}
-	_, err := d.Pool.ParallelCalls(d.K, "Load", func(t int) interface{} {
+	// Pinned: partition t must live on worker t % Size, because later
+	// Phase calls address it by that index.
+	_, err := d.Pool.ParallelCallsPinned(d.K, "Load", func(t int) interface{} {
 		return &LoadArgs{RunID: d.runID, Sub: d.subgraph(int32(t), parts[t]), Cfg: d.Cfg}
 	}, replies)
 	if err != nil {
@@ -95,11 +104,19 @@ type phaseResult struct {
 // runPhase executes one named phase over all partitions, using whichever
 // protocol the config selects, and returns per-partition results plus
 // task times. Stateful mode pins partitions to workers, so RPCRetries
-// applies only to the stateless protocol.
+// applies only to the stateless protocol. When the pool becomes unusable
+// (every worker evicted, or a stateful worker's pinned partition
+// unreachable) the phase degrades to local execution on the master with a
+// logged warning instead of failing the run.
 func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []time.Duration, error) {
-	results := make([]phaseResult, d.K)
+	if d.localOnly {
+		return d.runPhaseLocal(phase, vcfg), nil, nil
+	}
 	if d.Cfg.Stateful {
 		if err := d.ensureLoaded(); err != nil {
+			if d.fallBackStateful(phase, err) {
+				return d.runPhaseLocal(phase, vcfg), nil, nil
+			}
 			return nil, nil, err
 		}
 		delta := Delta{RemovedNodes: d.pendingNodes, RemovedEdges: d.pendingEdges}
@@ -108,12 +125,16 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 		for i := range replies {
 			replies[i] = &PhaseReplyStateful{}
 		}
-		times, err := d.Pool.ParallelCalls(d.K, "Phase", func(t int) interface{} {
+		times, err := d.Pool.ParallelCallsPinned(d.K, "Phase", func(t int) interface{} {
 			return &PhaseArgsStateful{RunID: d.runID, Part: int32(t), Phase: phase, Delta: delta, Cfg: d.Cfg, VCfg: vcfg}
 		}, replies)
 		if err != nil {
+			if d.fallBackStateful(phase, err) {
+				return d.runPhaseLocal(phase, vcfg), times, nil
+			}
 			return nil, times, err
 		}
+		results := make([]phaseResult, d.K)
 		for i, r := range replies {
 			pr := r.(*PhaseReplyStateful)
 			results[i] = phaseResult{Edges: pr.Edges, Removal: pr.Removal, Paths: pr.Paths, Variants: pr.Variants}
@@ -143,8 +164,16 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 	}
 	times, err := d.Pool.ParallelCallsRetry(d.K, phase, mk, replies, d.Cfg.RPCRetries)
 	if err != nil {
+		// Graceful degradation: if the pool has no healthy workers left,
+		// the work still fits on the master — subgraph extraction and the
+		// phase scans are the same code the workers run.
+		if errors.Is(err, dist.ErrNoWorkers) || d.Pool.NumHealthy() == 0 {
+			log.Printf("assembly: %s phase: no healthy workers (%v); falling back to local execution", phase, err)
+			return d.runPhaseLocal(phase, vcfg), times, nil
+		}
 		return nil, times, err
 	}
+	results := make([]phaseResult, d.K)
 	for i, r := range replies {
 		switch v := r.(type) {
 		case *EdgeReply:
@@ -158,6 +187,45 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 		}
 	}
 	return results, times, nil
+}
+
+// fallBackStateful decides whether a failed stateful phase should degrade
+// to local execution, and if so makes the degradation sticky: worker-side
+// partitions have missed this phase's delta, so the distributed state is
+// stale for the rest of the run. Application-level errors (a service bug,
+// an unknown phase) still propagate.
+func (d *Driver) fallBackStateful(phase string, err error) bool {
+	if !dist.IsTransportError(err) && d.Pool.NumHealthy() > 0 {
+		return false
+	}
+	d.localOnly = true
+	d.pendingNodes, d.pendingEdges = nil, nil
+	log.Printf("assembly: %s phase (stateful): pool unusable (%v); falling back to local execution for the rest of the run", phase, err)
+	return true
+}
+
+// runPhaseLocal executes one phase of every partition on the master. The
+// master's graph always holds the current state, so local results are
+// identical to what a healthy pool would return.
+func (d *Driver) runPhaseLocal(phase string, vcfg VariantConfig) []phaseResult {
+	parts := d.partitionNodes()
+	results := make([]phaseResult, d.K)
+	for t := 0; t < d.K; t++ {
+		sub := d.subgraph(int32(t), parts[t])
+		switch phase {
+		case "Transitive":
+			results[t] = phaseResult{Edges: TransitiveEdges(&sub, d.Cfg)}
+		case "Containment":
+			results[t] = phaseResult{Removal: ContainmentScan(&sub, d.Cfg)}
+		case "Errors":
+			results[t] = phaseResult{Removal: ErrorScan(&sub, d.Cfg)}
+		case "Paths":
+			results[t] = phaseResult{Paths: ExtractPaths(&sub, d.Cfg)}
+		case "Variants":
+			results[t] = phaseResult{Variants: ScanVariants(&sub, vcfg)}
+		}
+	}
+	return results
 }
 
 // NewDriver validates and assembles a driver.

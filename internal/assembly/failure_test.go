@@ -7,28 +7,37 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"focus/internal/dist"
 )
 
 // FlakyService fails a configurable subset of calls, simulating worker
 // faults. It embeds the real service so non-failing calls behave
-// normally.
+// normally. When Calls is set the counter is shared across workers,
+// making the fault pattern independent of how the scheduler interleaves
+// tasks over them.
 type FlakyService struct {
 	Service
 	calls     int64
-	FailEvery int64 // every n-th call fails (1 = always)
+	Calls     *int64 // shared counter; nil = per-worker
+	FailEvery int64  // every n-th call fails (1 = always)
+	FailAt    int64  // exactly the n-th call fails (0 = disabled)
 }
 
 func (f *FlakyService) Transitive(args *PhaseArgs, reply *EdgeReply) error {
-	if n := atomic.AddInt64(&f.calls, 1); f.FailEvery > 0 && n%f.FailEvery == 0 {
+	ctr := &f.calls
+	if f.Calls != nil {
+		ctr = f.Calls
+	}
+	n := atomic.AddInt64(ctr, 1)
+	if (f.FailEvery > 0 && n%f.FailEvery == 0) || (f.FailAt > 0 && n == f.FailAt) {
 		return errors.New("injected worker fault")
 	}
 	return f.Service.Transitive(args, reply)
 }
 
-func flakyDriver(t *testing.T, failEvery int64, workers, k int) (*Driver, *dist.Pool) {
-	t.Helper()
+func testDiGraph(k int) (*DiGraph, []int32) {
 	dg := &DiGraph{
 		Contigs: make([][]byte, 6),
 		Weight:  make([]int64, 6),
@@ -42,22 +51,33 @@ func flakyDriver(t *testing.T, failEvery int64, workers, k int) (*Driver, *dist.
 		dg.Weight[i] = 1
 		labels[i] = int32(i % k)
 	}
-	pool, err := dist.NewLocalPool(workers, func() interface{} {
-		return &FlakyService{FailEvery: failEvery}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	return dg, labels
+}
+
+func poolDriver(t *testing.T, pool *dist.Pool, k int) *Driver {
+	t.Helper()
+	dg, labels := testDiGraph(k)
 	d, err := NewDriver(pool, dg, labels, k, DefaultConfig())
 	if err != nil {
 		pool.Close()
 		t.Fatal(err)
 	}
-	return d, pool
+	return d
+}
+
+func flakyDriver(t *testing.T, newService func() interface{}, workers, k int) (*Driver, *dist.Pool) {
+	t.Helper()
+	pool, err := dist.NewLocalPool(workers, newService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return poolDriver(t, pool, k), pool
 }
 
 func TestDriverPropagatesWorkerFault(t *testing.T) {
-	d, pool := flakyDriver(t, 1, 2, 4) // every call fails
+	d, pool := flakyDriver(t, func() interface{} {
+		return &FlakyService{FailEvery: 1} // every call fails
+	}, 2, 4)
 	defer pool.Close()
 	if _, err := d.Trim(); err == nil {
 		t.Fatal("worker fault not propagated")
@@ -67,10 +87,14 @@ func TestDriverPropagatesWorkerFault(t *testing.T) {
 }
 
 func TestDriverPartialFaultStillFails(t *testing.T) {
-	// Only some partitions fail (each worker's second Transitive call;
-	// counters are per worker); the phase must still error rather than
-	// silently proceed with partial results.
-	d, pool := flakyDriver(t, 2, 2, 4)
+	// Exactly one call (the second across the whole pool) fails; without
+	// retries the phase must still error rather than silently proceed
+	// with partial results. These are application-level errors — the
+	// answering worker is alive — so no fallback or eviction applies.
+	var calls int64
+	d, pool := flakyDriver(t, func() interface{} {
+		return &FlakyService{Calls: &calls, FailAt: 2}
+	}, 2, 4)
 	defer pool.Close()
 	if _, err := d.Trim(); err == nil {
 		t.Fatal("partial worker fault not propagated")
@@ -78,10 +102,14 @@ func TestDriverPartialFaultStillFails(t *testing.T) {
 }
 
 func TestDriverRetriesRecoverFromPartialFault(t *testing.T) {
-	// Same partial fault as above, but with one retry: the failed task
-	// fails over to the other (healthy-at-that-call) worker and the
-	// phase succeeds.
-	d, pool := flakyDriver(t, 2, 2, 4)
+	// Same single fault as above, but with one retry: the failed task is
+	// rescheduled on the other worker (a task runs at most once per
+	// worker), whose call number can no longer be 2, so the phase
+	// recovers deterministically.
+	var calls int64
+	d, pool := flakyDriver(t, func() interface{} {
+		return &FlakyService{Calls: &calls, FailAt: 2}
+	}, 2, 4)
 	defer pool.Close()
 	d.Cfg.RPCRetries = 1
 	if _, err := d.Trim(); err != nil {
@@ -90,7 +118,9 @@ func TestDriverRetriesRecoverFromPartialFault(t *testing.T) {
 }
 
 func TestDriverRetriesStillFailWhenAllWorkersFail(t *testing.T) {
-	d, pool := flakyDriver(t, 1, 2, 4) // every call on every worker fails
+	d, pool := flakyDriver(t, func() interface{} {
+		return &FlakyService{FailEvery: 1} // every call on every worker fails
+	}, 2, 4)
 	defer pool.Close()
 	d.Cfg.RPCRetries = 3
 	if _, err := d.Trim(); err == nil {
@@ -99,49 +129,68 @@ func TestDriverRetriesStillFailWhenAllWorkersFail(t *testing.T) {
 }
 
 func TestDriverHealthyFlakyServicePasses(t *testing.T) {
-	d, pool := flakyDriver(t, 0, 2, 4) // FailEvery=0: never fails
+	d, pool := flakyDriver(t, func() interface{} {
+		return &FlakyService{} // never fails
+	}, 2, 4)
 	defer pool.Close()
 	if _, err := d.Trim(); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// TestWorkerDiesMidSession kills a TCP worker's connection between phases
-// and checks the master surfaces the failure.
+// TestWorkerDiesMidSession wedges a TCP worker's connection mid-session
+// (via the chaos transport) and checks an in-flight call returns an error
+// within the configured deadline instead of hanging forever, and that the
+// worker is evicted from the schedulable set.
 func TestWorkerDiesMidSession(t *testing.T) {
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	go func() { _ = dist.Serve(lis, &Service{}) }()
+	defer lis.Close()
+	// Every response write after the first hangs: the worker answers one
+	// phase, then wedges.
+	chaos := dist.NewChaosListener(lis, dist.ChaosConfig{
+		Seed: 7, FirstSafe: 1, HangProb: 1, HangFor: 30 * time.Second,
+	})
+	go func() { _ = dist.Serve(chaos, &Service{}) }()
 
-	pool, err := dist.DialPool([]string{lis.Addr().String()})
+	const timeout = 200 * time.Millisecond
+	pool, err := dist.DialPoolOpts([]string{lis.Addr().String()}, dist.Options{
+		CallTimeout: timeout,
+		MaxFailures: 1, // evict on the first wedge, no reconnect churn
+		Logf:        t.Logf,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pool.Close()
 
-	dg := &DiGraph{
-		Contigs: [][]byte{bytes.Repeat([]byte("A"), 50)},
-		Weight:  []int64{1},
-		Removed: []bool{false},
-		Out:     make([][]Edge, 1),
-		In:      make([][]Edge, 1),
-	}
-	d, err := NewDriver(pool, dg, []int32{0}, 1, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	d := poolDriver(t, pool, 1)
 	var st TrimStats
 	if err := d.TrimTransitive(&st); err != nil {
 		t.Fatalf("healthy phase failed: %v", err)
 	}
-	// Kill the worker. Subsequent calls must fail, not hang.
-	lis.Close()
-	// Also close the client side's underlying conn by closing the pool
-	// after the test; here the server side going away is what we detect.
-	// The listener close alone doesn't kill the established conn, so dial
-	// a second scenario: a fresh pool against a dead address.
+
+	// The next call lands on the now-wedged connection. Without deadlines
+	// (the old pool) this blocked forever; now it must fail within the
+	// deadline and evict the worker.
+	start := time.Now()
+	err = pool.Call(0, "Transitive", &PhaseArgs{Sub: *chainSub(3), Cfg: DefaultConfig()}, &EdgeReply{})
+	if err == nil {
+		t.Fatal("call on wedged worker connection succeeded")
+	}
+	if !errors.Is(err, dist.ErrCallTimeout) {
+		t.Fatalf("want ErrCallTimeout, got: %v", err)
+	}
+	if el := time.Since(start); el > 10*timeout {
+		t.Fatalf("timed-out call took %v (deadline %v)", el, timeout)
+	}
+	if n := pool.NumHealthy(); n != 0 {
+		t.Fatalf("wedged worker not evicted: NumHealthy=%d", n)
+	}
+
+	// Dialing a dead address must fail fast, too.
 	dead, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

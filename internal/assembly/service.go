@@ -56,8 +56,9 @@ func (s *Service) Paths(args *PhaseArgs, reply *PathsReply) error {
 	return nil
 }
 
-// Ping verifies worker liveness.
-func (s *Service) Ping(args *struct{}, reply *bool) error {
+// Ping verifies worker liveness: the pool's reconnect loop and the
+// focus-worker -healthcheck probe call it (dist.HealthCheck).
+func (s *Service) Ping(args *int, reply *bool) error {
 	*reply = true
 	return nil
 }

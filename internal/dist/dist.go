@@ -5,11 +5,21 @@
 // path, no sockets) and TCP workers for multi-process runs
 // (cmd/focus-worker). The distributed assembly algorithms of paper §V run
 // their per-partition work on these workers.
+//
+// Unlike an MPI job — which aborts when any rank dies — the pool is fault
+// tolerant: calls carry an optional deadline (Options.CallTimeout), a
+// worker whose connection hangs or breaks is evicted from the schedulable
+// set and reconnected in the background with exponential backoff, and the
+// dynamic scheduler of sched.go reroutes queued tasks around evicted
+// workers. chaos.go provides a deterministic fault-injecting transport for
+// testing all of this below the service layer.
 package dist
 
 import (
+	"errors"
 	"fmt"
-	"io"
+	"log"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
@@ -19,10 +29,108 @@ import (
 // ServiceName is the RPC service name workers register.
 const ServiceName = "FocusWorker"
 
-// Pool is a set of connected workers addressed by index.
+// dialTimeout bounds a single (re)connect dial.
+const dialTimeout = 2 * time.Second
+
+var (
+	// ErrCallTimeout marks a call that exceeded Options.CallTimeout. The
+	// worker's connection is severed when this happens (the reply of an
+	// abandoned call must never be written concurrently with a retry).
+	ErrCallTimeout = errors.New("dist: call timeout")
+	// ErrWorkerDown marks a call addressed to a worker with no live
+	// connection (evicted, reconnecting, or closed).
+	ErrWorkerDown = errors.New("dist: worker down")
+	// ErrNoWorkers marks a parallel invocation that found (or was left
+	// with) no schedulable workers. Callers use it to fall back to local
+	// execution.
+	ErrNoWorkers = errors.New("dist: no healthy workers")
+)
+
+// Options configure the pool's fault tolerance. The zero value disables
+// deadlines and uses the default health thresholds.
+type Options struct {
+	// CallTimeout is the per-call deadline; 0 disables deadlines
+	// (net/rpc's native behaviour: a hung worker blocks forever).
+	CallTimeout time.Duration
+	// MaxFailures is the number of consecutive transport failures
+	// (timeouts, broken connections) after which a worker is permanently
+	// evicted instead of reconnected. Successful calls reset the count;
+	// application-level errors returned by the service do not touch it.
+	MaxFailures int
+	// ReconnectMin/ReconnectMax bound the exponential reconnect backoff.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// MaxReconnects is the number of failed reconnect attempts per outage
+	// before the worker is permanently evicted.
+	MaxReconnects int
+	// Seed seeds the backoff jitter PRNG (deterministic tests).
+	Seed int64
+	// Logf receives eviction/reconnect warnings; nil means log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultOptions returns the default fault-tolerance parameters. Deadlines
+// are off by default: legitimate partition tasks have no a-priori bound,
+// so hanging-worker detection is opt-in (cmd/focus exposes -call-timeout).
+func DefaultOptions() Options { return Options{} }
+
+func (o Options) withDefaults() Options {
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 3
+	}
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = 50 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 5 * time.Second
+	}
+	if o.MaxReconnects <= 0 {
+		o.MaxReconnects = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// worker is one pool slot: its connection plus health state. The slot
+// survives connection loss — the client is replaced by the reconnect loop.
+type worker struct {
+	id         int
+	addr       string              // TCP address; "" for in-process workers
+	newService func() interface{}  // in-process service factory (revival)
+	wrap       func(net.Conn) net.Conn // optional chaos wrapper for the server conn
+
+	mu      sync.Mutex
+	client  *rpc.Client
+	fails   int  // consecutive transport failures
+	evicted bool // permanently out of the schedulable set
+}
+
+// Pool is a set of workers addressed by index. Worker slots are fixed at
+// construction; health state decides which are schedulable at any moment.
 type Pool struct {
-	clients []*rpc.Client
-	closers []io.Closer
+	opt     Options
+	workers []*worker
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup // reconnect loops
+}
+
+func newPool(opt Options) *Pool {
+	opt = opt.withDefaults()
+	return &Pool{
+		opt:    opt,
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+		closed: make(chan struct{}),
+	}
 }
 
 // NewLocalPool starts n in-process workers, each hosting its own service
@@ -30,150 +138,379 @@ type Pool struct {
 // round-trips go through real gob encoding, exercising the same paths a
 // TCP deployment does.
 func NewLocalPool(n int, newService func() interface{}) (*Pool, error) {
+	return NewLocalPoolOpts(n, newService, DefaultOptions())
+}
+
+// NewLocalPoolOpts is NewLocalPool with explicit fault-tolerance options.
+func NewLocalPoolOpts(n int, newService func() interface{}, opt Options) (*Pool, error) {
+	return NewLocalChaosPool(n, newService, opt, nil)
+}
+
+// NewLocalChaosPool is NewLocalPoolOpts with a deterministic
+// fault-injecting transport: chaos(i) returns the chaos configuration of
+// worker i's server-side connection (nil = clean). Passing chaos == nil
+// yields a plain local pool.
+func NewLocalChaosPool(n int, newService func() interface{}, opt Options, chaos func(worker int) *ChaosConfig) (*Pool, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dist: pool size %d", n)
 	}
-	p := &Pool{}
+	p := newPool(opt)
 	for i := 0; i < n; i++ {
-		srv := rpc.NewServer()
-		if err := srv.RegisterName(ServiceName, newService()); err != nil {
-			p.Close()
-			return nil, fmt.Errorf("dist: register: %w", err)
+		w := &worker{id: i, newService: newService}
+		if chaos != nil {
+			if cfg := chaos(i); cfg != nil {
+				c := *cfg
+				w.wrap = func(conn net.Conn) net.Conn { return WrapChaos(conn, c) }
+			}
 		}
-		cliConn, srvConn := net.Pipe()
-		go srv.ServeConn(srvConn)
-		client := rpc.NewClient(cliConn)
-		p.clients = append(p.clients, client)
-		p.closers = append(p.closers, client)
+		client, err := connectLocal(w)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		w.client = client
+		p.workers = append(p.workers, w)
 	}
 	return p, nil
+}
+
+// connectLocal builds a fresh pipe-connected service instance for w.
+func connectLocal(w *worker) (*rpc.Client, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, w.newService()); err != nil {
+		return nil, fmt.Errorf("dist: register: %w", err)
+	}
+	cliConn, srvConn := net.Pipe()
+	var sc net.Conn = srvConn
+	if w.wrap != nil {
+		sc = w.wrap(srvConn)
+	}
+	go srv.ServeConn(sc)
+	return rpc.NewClient(cliConn), nil
 }
 
 // DialPool connects to already-running TCP workers.
 func DialPool(addrs []string) (*Pool, error) {
+	return DialPoolOpts(addrs, DefaultOptions())
+}
+
+// DialPoolOpts is DialPool with explicit fault-tolerance options.
+func DialPoolOpts(addrs []string, opt Options) (*Pool, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dist: no worker addresses")
 	}
-	p := &Pool{}
-	for _, addr := range addrs {
-		client, err := rpc.Dial("tcp", addr)
+	p := newPool(opt)
+	for i, addr := range addrs {
+		client, err := dialWorker(addr)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 		}
-		p.clients = append(p.clients, client)
-		p.closers = append(p.closers, client)
+		p.workers = append(p.workers, &worker{id: i, addr: addr, client: client})
 	}
 	return p, nil
 }
 
-// Size returns the number of workers.
-func (p *Pool) Size() int { return len(p.clients) }
+func dialWorker(addr string) (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(conn), nil
+}
 
-// Call invokes method (without the service prefix) on worker i.
+// Size returns the number of worker slots (healthy or not).
+func (p *Pool) Size() int { return len(p.workers) }
+
+// NumHealthy returns the number of currently schedulable workers: slots
+// with a live connection that have not been evicted.
+func (p *Pool) NumHealthy() int {
+	n := 0
+	for _, w := range p.workers {
+		if p.workerRunnable(w) {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Pool) workerRunnable(w *worker) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.client != nil && !w.evicted
+}
+
+func (p *Pool) runnableWorkers() []*worker {
+	var out []*worker
+	for _, w := range p.workers {
+		if p.workerRunnable(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Call invokes method (without the service prefix) on worker i, honouring
+// Options.CallTimeout.
 func (p *Pool) Call(i int, method string, args, reply interface{}) error {
-	if i < 0 || i >= len(p.clients) {
-		return fmt.Errorf("dist: worker %d out of range [0,%d)", i, len(p.clients))
+	if i < 0 || i >= len(p.workers) {
+		return fmt.Errorf("dist: worker %d out of range [0,%d)", i, len(p.workers))
 	}
-	return p.clients[i].Call(ServiceName+"."+method, args, reply)
+	return p.callWorker(p.workers[i], method, args, reply)
 }
 
-// Go invokes method on worker i asynchronously.
+// Go invokes method on worker i asynchronously (no deadline; callers that
+// need one should use Call from a goroutine).
 func (p *Pool) Go(i int, method string, args, reply interface{}) *rpc.Call {
-	return p.clients[i].Go(ServiceName+"."+method, args, reply, nil)
-}
-
-// Retries is the number of additional workers a failed task is retried
-// on (failover). 0 — the default — fails fast: any task error aborts the
-// phase, as an MPI job would.
-type callOptions struct {
-	retries int
-}
-
-// ParallelCalls runs one call per task concurrently, task t on worker
-// t % Size() (round-robin partition-to-processor assignment). mkArgs and
-// replies are indexed by task. It returns the per-task durations
-// (argument construction excluded), which the harness projects onto
-// larger worker counts; the first error is returned after all calls
-// finish.
-func (p *Pool) ParallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, error) {
-	return p.parallelCalls(tasks, method, mkArgs, replies, callOptions{})
-}
-
-// ParallelCallsRetry is ParallelCalls with failover: a failed task is
-// retried on up to `retries` other workers before the error counts.
-// Stateless services (all of assembly's phases) make this safe.
-func (p *Pool) ParallelCallsRetry(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, retries int) ([]time.Duration, error) {
-	return p.parallelCalls(tasks, method, mkArgs, replies, callOptions{retries: retries})
-}
-
-func (p *Pool) parallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, opt callOptions) ([]time.Duration, error) {
-	var wg sync.WaitGroup
-	errs := make([]error, tasks)
-	times := make([]time.Duration, tasks)
-	// One in-flight call per worker at a time, so that a pool of w
-	// workers processes at most w partitions concurrently — this is what
-	// makes runtime fall as the pool grows (Fig. 6).
-	locks := make([]sync.Mutex, p.Size())
-	for t := 0; t < tasks; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			// Argument construction happens on the master and is not
-			// part of the worker's task time.
-			args := mkArgs(t)
-			maxAttempts := 1 + opt.retries
-			if maxAttempts > p.Size() {
-				maxAttempts = p.Size()
-			}
-			for attempt := 0; attempt < maxAttempts; attempt++ {
-				w := (t + attempt) % p.Size()
-				locks[w].Lock()
-				t0 := time.Now()
-				errs[t] = p.Call(w, method, args, replies[t])
-				times[t] = time.Since(t0)
-				locks[w].Unlock()
-				if errs[t] == nil {
-					break
-				}
-			}
-		}(t)
+	w := p.workers[i]
+	w.mu.Lock()
+	c := w.client
+	w.mu.Unlock()
+	if c == nil {
+		call := &rpc.Call{ServiceMethod: ServiceName + "." + method, Args: args, Reply: reply,
+			Error: fmt.Errorf("dist: worker %d: %w", i, ErrWorkerDown), Done: make(chan *rpc.Call, 1)}
+		call.Done <- call
+		return call
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return times, err
+	return c.Go(ServiceName+"."+method, args, reply, nil)
+}
+
+// callWorker runs one call on w with the configured deadline and feeds the
+// outcome into the worker's health state.
+func (p *Pool) callWorker(w *worker, method string, args, reply interface{}) error {
+	w.mu.Lock()
+	c := w.client
+	w.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("dist: worker %d: %w", w.id, ErrWorkerDown)
+	}
+	svcMethod := ServiceName + "." + method
+	if p.opt.CallTimeout <= 0 {
+		err := c.Call(svcMethod, args, reply)
+		p.record(w, c, err)
+		return err
+	}
+	// client.Go's send runs in the calling goroutine and can itself block
+	// on a wedged connection, so the whole round-trip goes in a goroutine.
+	done := make(chan error, 1)
+	go func() {
+		call := c.Go(svcMethod, args, reply, make(chan *rpc.Call, 1))
+		done <- (<-call.Done).Error
+	}()
+	timer := time.NewTimer(p.opt.CallTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		p.record(w, c, err)
+		return err
+	case <-timer.C:
+		err := fmt.Errorf("dist: %s on worker %d after %v: %w", method, w.id, p.opt.CallTimeout, ErrCallTimeout)
+		p.record(w, c, err)
+		return err
+	}
+}
+
+// IsTransportError reports whether err indicates the worker (or the
+// connection to it) is unusable, as opposed to an application-level error
+// returned by the service — a service that answers, even with an error, is
+// alive.
+func IsTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se rpc.ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	return true
+}
+
+// record updates w's health from a call outcome on client c. Transport
+// failures sever the connection: net/rpc clients are not reusable after an
+// I/O error, and a timed-out call could still write into its abandoned
+// reply if the connection were kept.
+func (p *Pool) record(w *worker, c *rpc.Client, err error) {
+	w.mu.Lock()
+	if w.client != c { // stale generation: outcome of an already-severed conn
+		w.mu.Unlock()
+		return
+	}
+	if !IsTransportError(err) {
+		w.fails = 0
+		w.mu.Unlock()
+		return
+	}
+	w.fails++
+	w.client = nil
+	canRevive := (w.addr != "" || w.newService != nil) && !p.isClosed()
+	dead := w.fails >= p.opt.MaxFailures || !canRevive
+	if dead {
+		w.evicted = true
+	}
+	fails := w.fails
+	w.mu.Unlock()
+	c.Close()
+	if dead {
+		p.opt.Logf("dist: worker %d evicted after %d consecutive transport failure(s) (last: %v)", w.id, fails, err)
+		return
+	}
+	p.opt.Logf("dist: worker %d connection severed (%v); reconnecting in background", w.id, err)
+	p.wg.Add(1)
+	go p.reconnectLoop(w)
+}
+
+// reconnectLoop re-establishes w's connection with exponential backoff and
+// jitter, verifying liveness with a Ping before reinstating the worker.
+// The consecutive-failure count is reset only by successful *work* calls,
+// so a worker that reconnects but keeps hanging is eventually evicted for
+// good by MaxFailures.
+func (p *Pool) reconnectLoop(w *worker) {
+	defer p.wg.Done()
+	for attempt := 0; attempt < p.opt.MaxReconnects; attempt++ {
+		select {
+		case <-p.closed:
+			return
+		case <-time.After(p.backoff(attempt)):
 		}
+		client, err := p.reconnect(w)
+		if err != nil {
+			p.opt.Logf("dist: worker %d reconnect attempt %d/%d: %v", w.id, attempt+1, p.opt.MaxReconnects, err)
+			continue
+		}
+		w.mu.Lock()
+		if w.evicted || p.isClosed() {
+			w.mu.Unlock()
+			client.Close()
+			return
+		}
+		w.client = client
+		w.mu.Unlock()
+		p.opt.Logf("dist: worker %d reconnected", w.id)
+		return
 	}
-	return times, nil
+	w.mu.Lock()
+	w.evicted = true
+	w.mu.Unlock()
+	p.opt.Logf("dist: worker %d evicted after %d failed reconnect attempts", w.id, p.opt.MaxReconnects)
 }
 
-// Close shuts down all client connections (and, for local pools, the
-// worker goroutines with them).
+func (p *Pool) reconnect(w *worker) (*rpc.Client, error) {
+	var client *rpc.Client
+	var err error
+	if w.addr != "" {
+		client, err = dialWorker(w.addr)
+	} else {
+		client, err = connectLocal(w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ping(client); err != nil {
+		client.Close()
+		return nil, err
+	}
+	return client, nil
+}
+
+// ping verifies a connection answers within a bounded time. A service
+// without a Ping method still proves liveness by answering with a
+// ServerError.
+func (p *Pool) ping(c *rpc.Client) error {
+	timeout := p.opt.CallTimeout
+	if timeout <= 0 {
+		timeout = dialTimeout
+	}
+	done := make(chan error, 1)
+	go func() {
+		var ok bool
+		args := 0
+		done <- c.Call(ServiceName+".Ping", &args, &ok)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		var se rpc.ServerError
+		if err == nil || errors.As(err, &se) {
+			return nil
+		}
+		return err
+	case <-timer.C:
+		return fmt.Errorf("dist: ping: %w", ErrCallTimeout)
+	}
+}
+
+// backoff returns the jittered exponential delay of the given attempt.
+func (p *Pool) backoff(attempt int) time.Duration {
+	d := p.opt.ReconnectMin << uint(attempt)
+	if d <= 0 || d > p.opt.ReconnectMax {
+		d = p.opt.ReconnectMax
+	}
+	p.rngMu.Lock()
+	jitter := time.Duration(p.rng.Int63n(int64(d)/2 + 1))
+	p.rngMu.Unlock()
+	return d/2 + jitter
+}
+
+// HealthCheck dials addr and verifies the worker answers a Ping within
+// timeout. It is the probe behind focus-worker's -healthcheck flag and is
+// usable by external orchestrators.
+func HealthCheck(addr string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = dialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("dist: healthcheck %s: %w", addr, err)
+	}
+	client := rpc.NewClient(conn)
+	defer client.Close()
+	done := make(chan error, 1)
+	go func() {
+		var ok bool
+		args := 0
+		done <- client.Call(ServiceName+".Ping", &args, &ok)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		var se rpc.ServerError
+		if err == nil || errors.As(err, &se) {
+			return nil
+		}
+		return fmt.Errorf("dist: healthcheck %s: %w", addr, err)
+	case <-timer.C:
+		return fmt.Errorf("dist: healthcheck %s: %w", addr, ErrCallTimeout)
+	}
+}
+
+func (p *Pool) isClosed() bool {
+	select {
+	case <-p.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts down all worker connections (and, for local pools, the
+// worker goroutines with them) and stops background reconnects.
 func (p *Pool) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
 	var first error
-	for _, c := range p.closers {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+	for _, w := range p.workers {
+		w.mu.Lock()
+		c := w.client
+		w.client = nil
+		w.evicted = true
+		w.mu.Unlock()
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
-	p.closers = nil
-	p.clients = nil
+	p.wg.Wait()
 	return first
-}
-
-// Serve accepts RPC connections on lis and serves service until lis is
-// closed. It is the body of the focus-worker daemon.
-func Serve(lis net.Listener, service interface{}) error {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName(ServiceName, service); err != nil {
-		return fmt.Errorf("dist: register: %w", err)
-	}
-	for {
-		conn, err := lis.Accept()
-		if err != nil {
-			return err
-		}
-		go srv.ServeConn(conn)
-	}
 }

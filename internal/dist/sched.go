@@ -1,0 +1,292 @@
+package dist
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+)
+
+// This file is the pool's task scheduler. ParallelCalls used to assign
+// task t to worker t % Size() statically, which re-hits dead workers and
+// lets one straggler stall the phase. It now drains a shared queue with
+// one runner goroutine per schedulable worker: tasks naturally reroute
+// around evicted or slow workers while preserving the one-in-flight-per-
+// worker invariant (a pool of w workers processes at most w tasks
+// concurrently — what makes runtime fall as the pool grows, Fig. 6).
+// ParallelCallsPinned keeps the static assignment for protocols that pin
+// state to a worker index (the stateful delta protocol of assembly).
+
+type callOptions struct {
+	// retries is the number of additional workers a task is retried on
+	// after an application-level failure. 0 — the default — fails fast on
+	// service errors, as an MPI job would. Transport failures (timeouts,
+	// broken connections) do not consume this budget: the worker failed,
+	// not the task, so the task reroutes to another worker for free.
+	retries int
+}
+
+// ParallelCalls runs one call per task concurrently over the schedulable
+// workers. mkArgs and replies are indexed by task. It returns the per-task
+// durations (argument construction excluded), which the harness projects
+// onto larger worker counts; the first error (in task order) is returned
+// after all calls finish. When no schedulable worker exists the error
+// wraps ErrNoWorkers.
+func (p *Pool) ParallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, error) {
+	return p.parallelCalls(tasks, method, mkArgs, replies, callOptions{})
+}
+
+// ParallelCallsRetry is ParallelCalls with failover: a task failed by the
+// service is retried on up to `retries` other workers before the error
+// counts. Stateless services (all of assembly's stateless phases) make
+// this safe.
+func (p *Pool) ParallelCallsRetry(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, retries int) ([]time.Duration, error) {
+	return p.parallelCalls(tasks, method, mkArgs, replies, callOptions{retries: retries})
+}
+
+// ParallelCallsPinned runs task t on worker t % Size(), the static
+// round-robin assignment, with per-call deadlines but no rescheduling.
+// Protocols that pin per-worker state to the task index (the stateful
+// delta protocol) need this: rerouting a task would address state the
+// target worker does not hold.
+func (p *Pool) ParallelCallsPinned(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, tasks)
+	times := make([]time.Duration, tasks)
+	// One in-flight call per worker at a time.
+	locks := make([]sync.Mutex, p.Size())
+	for t := 0; t < tasks; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			w := p.workers[t%len(p.workers)]
+			// Argument construction happens on the master and is not
+			// part of the worker's task time.
+			args := mkArgs(t)
+			fresh := newReply(replies[t])
+			locks[w.id].Lock()
+			t0 := time.Now()
+			errs[t] = p.callWorker(w, method, args, fresh)
+			times[t] = time.Since(t0)
+			locks[w.id].Unlock()
+			if errs[t] == nil {
+				copyReply(replies[t], fresh)
+			}
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return times, err
+		}
+	}
+	return times, nil
+}
+
+func (p *Pool) parallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, opt callOptions) ([]time.Duration, error) {
+	times := make([]time.Duration, tasks)
+	if tasks == 0 {
+		return times, nil
+	}
+	runners := p.runnableWorkers()
+	if len(runners) == 0 {
+		return times, fmt.Errorf("dist: %s: %w", method, ErrNoWorkers)
+	}
+	maxAttempts := 1 + opt.retries
+	if maxAttempts > len(p.workers) {
+		maxAttempts = len(p.workers)
+	}
+	ids := make([]int, len(runners))
+	for i, w := range runners {
+		ids[i] = w.id
+	}
+	s := newSched(tasks, len(p.workers), maxAttempts, times, ids)
+	var wg sync.WaitGroup
+	for _, w := range runners {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			p.runWorker(w, s, method, mkArgs, replies)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range s.errs {
+		if err != nil {
+			return times, err
+		}
+	}
+	return times, nil
+}
+
+// runWorker is one worker's runner: it drains the queue one task at a
+// time until the queue is empty or the worker's connection dies.
+func (p *Pool) runWorker(w *worker, s *sched, method string, mkArgs func(t int) interface{}, replies []interface{}) {
+	defer s.detach(w.id)
+	for {
+		tk := s.next(w.id)
+		if tk == nil {
+			return
+		}
+		if tk.args == nil {
+			tk.args = mkArgs(tk.idx)
+		}
+		// Every attempt gets a fresh reply: a late write by an abandoned
+		// (timed-out) call, or gob decoding into a partially-filled value
+		// on retry, must never touch the caller's reply.
+		fresh := newReply(replies[tk.idx])
+		t0 := time.Now()
+		err := p.callWorker(w, method, tk.args, fresh)
+		d := time.Since(t0)
+		if err == nil {
+			copyReply(replies[tk.idx], fresh)
+			s.finish(tk, d)
+		} else {
+			s.fail(tk, w.id, err, d, IsTransportError(err))
+		}
+		if !p.workerRunnable(w) {
+			return
+		}
+	}
+}
+
+func newReply(proto interface{}) interface{} {
+	return reflect.New(reflect.TypeOf(proto).Elem()).Interface()
+}
+
+func copyReply(dst, src interface{}) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+// schedTask is one queued task plus its attempt history.
+type schedTask struct {
+	idx      int
+	args     interface{}
+	tried    []bool // per worker id; a task runs at most once per worker
+	attempts int    // application-level failures so far
+	lastErr  error
+}
+
+// sched is the shared state of one parallelCalls invocation.
+type sched struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []*schedTask
+	inflight    int
+	finalized   int
+	total       int
+	maxAttempts int
+	live        []bool // live runner per worker id
+	times       []time.Duration
+	errs        []error
+}
+
+func newSched(tasks, workers, maxAttempts int, times []time.Duration, runnerIDs []int) *sched {
+	s := &sched{
+		total:       tasks,
+		maxAttempts: maxAttempts,
+		live:        make([]bool, workers),
+		times:       times,
+		errs:        make([]error, tasks),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for t := 0; t < tasks; t++ {
+		s.pending = append(s.pending, &schedTask{idx: t, tried: make([]bool, workers)})
+	}
+	for _, id := range runnerIDs {
+		s.live[id] = true
+	}
+	return s
+}
+
+// next blocks until there is a task runner wid may attempt, all tasks are
+// finalized (returns nil), or no task this runner could ever serve remains.
+func (s *sched) next(wid int) *schedTask {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.finalized == s.total {
+			return nil
+		}
+		for i, t := range s.pending {
+			if !t.tried[wid] {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				s.inflight++
+				return t
+			}
+		}
+		// Nothing this runner can take right now. Fail tasks no live
+		// runner can ever serve, then wait for a requeue or completion.
+		s.reapUnservable()
+		if s.finalized == s.total {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// reapUnservable finalizes pending tasks that no live runner may attempt
+// (every live runner has already tried them). Called with s.mu held.
+func (s *sched) reapUnservable() {
+	kept := s.pending[:0]
+	for _, t := range s.pending {
+		servable := false
+		for wid, alive := range s.live {
+			if alive && !t.tried[wid] {
+				servable = true
+				break
+			}
+		}
+		if servable {
+			kept = append(kept, t)
+			continue
+		}
+		err := t.lastErr
+		if err == nil {
+			err = fmt.Errorf("dist: task %d: %w", t.idx, ErrNoWorkers)
+		}
+		s.errs[t.idx] = err
+		s.finalized++
+	}
+	s.pending = kept
+}
+
+func (s *sched) finish(t *schedTask, d time.Duration) {
+	s.mu.Lock()
+	s.inflight--
+	s.finalized++
+	s.times[t.idx] = d
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fail records a failed attempt. Application failures consume the retry
+// budget; transport failures only mark the worker as tried (the task gets
+// rerouted, bounded by each transport failure also severing that worker).
+func (s *sched) fail(t *schedTask, wid int, err error, d time.Duration, transport bool) {
+	s.mu.Lock()
+	s.inflight--
+	t.tried[wid] = true
+	t.lastErr = err
+	s.times[t.idx] = d
+	if !transport {
+		t.attempts++
+	}
+	if t.attempts >= s.maxAttempts {
+		s.errs[t.idx] = err
+		s.finalized++
+	} else {
+		s.pending = append(s.pending, t)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// detach removes a dead runner and fails any pending task only it could
+// have served.
+func (s *sched) detach(wid int) {
+	s.mu.Lock()
+	s.live[wid] = false
+	s.reapUnservable()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

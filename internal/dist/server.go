@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrServerClosed is returned by Server.Serve after Shutdown.
+var ErrServerClosed = errors.New("dist: server closed")
+
+// Server hosts an RPC service with graceful shutdown: Shutdown stops
+// accepting, drains in-flight calls for a bounded grace period, then
+// closes the remaining connections. It is the body of the focus-worker
+// daemon.
+type Server struct {
+	rpcSrv *rpc.Server
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[io.ReadWriteCloser]struct{}
+	closed bool
+
+	active int64 // in-flight RPC calls (read but not yet answered)
+}
+
+// NewServer registers service under ServiceName.
+func NewServer(service interface{}) (*Server, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, service); err != nil {
+		return nil, fmt.Errorf("dist: register: %w", err)
+	}
+	return &Server{rpcSrv: srv, conns: map[io.ReadWriteCloser]struct{}{}}, nil
+}
+
+// Serve accepts RPC connections on lis until lis fails or Shutdown is
+// called (then it returns ErrServerClosed).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.rpcSrv.ServeCodec(newCountingCodec(conn, s))
+	}
+}
+
+// ActiveCalls returns the number of in-flight RPC calls.
+func (s *Server) ActiveCalls() int64 { return atomic.LoadInt64(&s.active) }
+
+// Shutdown stops accepting new connections, waits up to grace for
+// in-flight calls to drain, then closes all remaining connections.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	deadline := time.Now().Add(grace)
+	for atomic.LoadInt64(&s.active) > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[io.ReadWriteCloser]struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) dropConn(c io.ReadWriteCloser) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// countingCodec is net/rpc's gob server codec plus in-flight call
+// accounting: a call is in flight from the moment its request header is
+// read until its response is written, which is exactly the window
+// Shutdown's drain must respect.
+type countingCodec struct {
+	rwc    io.ReadWriteCloser
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	encBuf *bufio.Writer
+	srv    *Server
+	closed bool
+}
+
+func newCountingCodec(conn io.ReadWriteCloser, srv *Server) *countingCodec {
+	buf := bufio.NewWriter(conn)
+	return &countingCodec{
+		rwc:    conn,
+		dec:    gob.NewDecoder(conn),
+		enc:    gob.NewEncoder(buf),
+		encBuf: buf,
+		srv:    srv,
+	}
+}
+
+func (c *countingCodec) ReadRequestHeader(r *rpc.Request) error {
+	if err := c.dec.Decode(r); err != nil {
+		return err
+	}
+	atomic.AddInt64(&c.srv.active, 1)
+	return nil
+}
+
+func (c *countingCodec) ReadRequestBody(body interface{}) error {
+	return c.dec.Decode(body)
+}
+
+func (c *countingCodec) WriteResponse(r *rpc.Response, body interface{}) (err error) {
+	defer atomic.AddInt64(&c.srv.active, -1)
+	if err = c.enc.Encode(r); err != nil {
+		if c.encBuf.Flush() == nil {
+			// Gob couldn't encode the header. Should not happen, so if it
+			// does, shut down the connection to signal that it did.
+			c.Close()
+		}
+		return
+	}
+	if err = c.enc.Encode(body); err != nil {
+		if c.encBuf.Flush() == nil {
+			c.Close()
+		}
+		return
+	}
+	return c.encBuf.Flush()
+}
+
+func (c *countingCodec) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.srv.dropConn(c.rwc)
+	return c.rwc.Close()
+}
+
+// Serve accepts RPC connections on lis and serves service until lis is
+// closed (no graceful drain; use Server for that). Kept for in-test and
+// example servers.
+func Serve(lis net.Listener, service interface{}) error {
+	srv, err := NewServer(service)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(lis)
+}

@@ -1,9 +1,12 @@
 package overlap
 
 import (
+	"errors"
+	"log"
 	"sort"
 	"sync"
 
+	"focus/internal/align"
 	"focus/internal/dist"
 	"focus/internal/dna"
 )
@@ -77,12 +80,19 @@ func FindOverlapsDistributed(pool *dist.Pool, reads []dna.Read, subsets int, cfg
 	for i := range replies {
 		replies[i] = &AlignPairReply{}
 	}
-	_, err := pool.ParallelCalls(len(jobs), "AlignPair", func(t int) interface{} {
+	_, err := pool.ParallelCallsRetry(len(jobs), "AlignPair", func(t int) interface{} {
 		qIDs, qSeqs := slice(jobs[t].q)
 		rIDs, rSeqs := slice(jobs[t].r)
 		return &AlignPairArgs{RefIDs: rIDs, RefSeqs: rSeqs, QueryIDs: qIDs, QuerySeqs: qSeqs, Cfg: cfg}
-	}, replies)
+	}, replies, cfg.RPCRetries)
 	if err != nil {
+		// Graceful degradation: with no healthy workers left the jobs
+		// still fit on the master, which runs the identical alignment
+		// code with local goroutines.
+		if errors.Is(err, dist.ErrNoWorkers) || pool.NumHealthy() == 0 {
+			log.Printf("overlap: distributed alignment: no healthy workers (%v); falling back to local execution", err)
+			return FindOverlaps(reads, subsets, cfg)
+		}
 		return nil, err
 	}
 	var lists [][]Record
@@ -92,18 +102,45 @@ func FindOverlapsDistributed(pool *dist.Pool, reads []dna.Read, subsets int, cfg
 	return mergeRecords(lists), nil
 }
 
+// recKey identifies one overlap relation: a read pair can legitimately
+// carry several records of different Kind (e.g. a suffix-prefix overlap
+// and a containment), so Kind is part of the identity. Keying on (A, B)
+// alone dropped all but the first Kind seen — which Kind survived depended
+// on job order.
+type recKey struct {
+	a, b int32
+	kind align.Kind
+}
+
+// moreCredible reports whether r should replace cur among records of the
+// same (A, B, Kind): higher identity wins, then longer overlap, then lower
+// diagonal — a deterministic total order independent of arrival order.
+func moreCredible(r, cur Record) bool {
+	if r.Identity != cur.Identity {
+		return r.Identity > cur.Identity
+	}
+	if r.Len != cur.Len {
+		return r.Len > cur.Len
+	}
+	return r.Diag < cur.Diag
+}
+
 // mergeRecords canonicalizes, deduplicates and sorts per-job record
-// lists.
+// lists. Duplicates of the same (A, B, Kind) — cross-subset pairs are
+// aligned by more than one job — collapse to the most credible record.
 func mergeRecords(lists [][]Record) []Record {
-	seen := make(map[int64]struct{})
+	best := make(map[recKey]int)
 	var out []Record
 	for _, rs := range lists {
 		for _, rec := range rs {
-			key := int64(rec.A)<<32 | int64(rec.B)
-			if _, dup := seen[key]; dup {
+			key := recKey{rec.A, rec.B, rec.Kind}
+			if i, dup := best[key]; dup {
+				if moreCredible(rec, out[i]) {
+					out[i] = rec
+				}
 				continue
 			}
-			seen[key] = struct{}{}
+			best[key] = len(out)
 			out = append(out, rec)
 		}
 	}
@@ -111,7 +148,13 @@ func mergeRecords(lists [][]Record) []Record {
 		if out[i].A != out[j].A {
 			return out[i].A < out[j].A
 		}
-		return out[i].B < out[j].B
+		if out[i].B != out[j].B {
+			return out[i].B < out[j].B
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Diag < out[j].Diag
 	})
 	return out
 }

@@ -1,8 +1,11 @@
 package overlap
 
 import (
+	"reflect"
 	"testing"
+	"time"
 
+	"focus/internal/align"
 	"focus/internal/dist"
 )
 
@@ -60,6 +63,72 @@ func TestFindOverlapsDistributedValidation(t *testing.T) {
 	}
 	if _, err := FindOverlapsDistributed(pool, nil, 0, testConfig()); err == nil {
 		t.Error("0 subsets accepted")
+	}
+}
+
+// TestMergeRecordsKeepsDistinctKinds is the regression test for the old
+// (A, B)-only dedup key, which dropped every record after the first for a
+// read pair — a pair reported with both a suffix-prefix overlap and a
+// containment lost one of them, and which one depended on job order.
+func TestMergeRecordsKeepsDistinctKinds(t *testing.T) {
+	sp := Record{A: 1, B: 2, Kind: align.KindSuffixPrefix, Len: 60, Identity: 0.95, Diag: 40}
+	ct := Record{A: 1, B: 2, Kind: align.KindAContainsB, Len: 80, Identity: 0.92, Diag: 10}
+	got := mergeRecords([][]Record{{sp}, {ct}})
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2 (distinct Kinds must both survive): %+v", len(got), got)
+	}
+	// And the result is independent of job order.
+	swapped := mergeRecords([][]Record{{ct}, {sp}})
+	if !reflect.DeepEqual(got, swapped) {
+		t.Fatalf("merge depends on job order:\n%+v\nvs\n%+v", got, swapped)
+	}
+}
+
+// TestMergeRecordsPicksMostCredibleDuplicate checks that true duplicates —
+// same (A, B, Kind) seen by two jobs — collapse to the higher-identity
+// record regardless of which job reported first.
+func TestMergeRecordsPicksMostCredibleDuplicate(t *testing.T) {
+	weak := Record{A: 3, B: 7, Kind: align.KindSuffixPrefix, Len: 55, Identity: 0.91, Diag: 45}
+	strong := Record{A: 3, B: 7, Kind: align.KindSuffixPrefix, Len: 60, Identity: 0.97, Diag: 40}
+	for _, lists := range [][][]Record{{{weak}, {strong}}, {{strong}, {weak}}} {
+		got := mergeRecords(lists)
+		if len(got) != 1 {
+			t.Fatalf("got %d records, want 1: %+v", len(got), got)
+		}
+		if got[0] != strong {
+			t.Fatalf("kept %+v, want the higher-identity %+v", got[0], strong)
+		}
+	}
+}
+
+// TestFindOverlapsDistributedFallsBackWhenPoolDead checks graceful
+// degradation: with every worker hung and evicted, the distributed mode
+// completes locally and matches the local result.
+func TestFindOverlapsDistributedFallsBackWhenPoolDead(t *testing.T) {
+	genome := randGenome(152, 1200)
+	reads := tilingReads(genome, 100, 40)
+	cfg := testConfig()
+
+	local, err := FindOverlaps(reads, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hang := dist.ChaosConfig{Seed: 9, HangProb: 1, HangFor: 2 * time.Second}
+	pool, err := dist.NewLocalChaosPool(2, newAlignService, dist.Options{
+		CallTimeout: 150 * time.Millisecond,
+		MaxFailures: 1,
+		Logf:        t.Logf,
+	}, func(w int) *dist.ChaosConfig { c := hang; c.Seed += int64(w); return &c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	remote, err := FindOverlapsDistributed(pool, reads, 2, cfg)
+	if err != nil {
+		t.Fatalf("distributed mode did not fall back: %v", err)
+	}
+	if !reflect.DeepEqual(remote, local) {
+		t.Fatalf("fallback records diverge from local: %d vs %d records", len(remote), len(local))
 	}
 }
 

@@ -75,6 +75,11 @@ type Config struct {
 	// Indexing selects the reference seed index; both modes return
 	// identical overlap records (the k-mer table is faster).
 	Indexing Indexing
+	// RPCRetries is the per-job failover budget of the distributed mode:
+	// a job failed by a worker at the application level is retried on up
+	// to this many other workers before the error counts. Ignored by the
+	// local mode.
+	RPCRetries int
 }
 
 // DefaultConfig returns a configuration tuned for 100 bp reads, with the
