@@ -15,19 +15,24 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"testing"
 	"time"
 
 	"focus"
 	"focus/internal/assembly"
+	"focus/internal/coarsen"
 	"focus/internal/debruijn"
 	"focus/internal/dist"
 	"focus/internal/eval"
+	"focus/internal/graph"
 	"focus/internal/greedyasm"
+	"focus/internal/hybrid"
 	"focus/internal/metrics"
 	"focus/internal/partition"
 	"focus/internal/simulate"
@@ -112,6 +117,156 @@ func main() {
 	run("table3", h.table3)
 	run("fig7", h.fig7)
 	run("baselines", h.baselines)
+	run("graphbench", h.graphbench)
+}
+
+// graphbench micro-benchmarks the graph-core stages (overlap-graph build,
+// coarsening, hybrid layout, partitioning) serial vs parallel and writes
+// the results as machine-readable BENCH_graph.json next to the text
+// output. "serial" pins every worker knob to 1; "parallel" uses the
+// defaults (GOMAXPROCS-sized pools, Procs=8 for partitioning).
+func (h *harness) graphbench() error {
+	s, err := h.prepare(2)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		Name        string `json:"name"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		BytesPerOp  int64  `json:"b_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	}
+	var rows []row
+	bench := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		rows = append(rows, row{name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp()})
+		fmt.Printf("  %-26s %12d ns/op %12d B/op %9d allocs/op\n",
+			name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	fmt.Println("Graph core — serial vs parallel (D2)")
+	newBuilder := func() *graph.Builder {
+		b := graph.NewBuilder(len(s.Reads))
+		for _, r := range s.Records {
+			_ = b.AddEdge(int(r.A), int(r.B), int64(r.Len))
+		}
+		return b
+	}
+	bld := newBuilder()
+	bench("graph_build_map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bld.BuildMapMerge()
+		}
+	})
+	bench("graph_build_serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bld.BuildPar(1)
+		}
+	})
+	bench("graph_build_parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bld.BuildPar(0)
+		}
+	})
+
+	coarsenWith := func(workers int) *graph.Set {
+		copt := s.Cfg.Coarsen
+		copt.Workers = workers
+		return coarsen.Multilevel(s.G0, copt)
+	}
+	bench("coarsen_serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = coarsenWith(1)
+		}
+	})
+	bench("coarsen_parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = coarsenWith(0)
+		}
+	})
+
+	hybridWith := func(workers int) *hybrid.Hybrid {
+		hcfg := s.Cfg.Hybrid
+		hcfg.Workers = workers
+		hb, err := hybrid.Build(s.MSet, s.Reads, s.Records, hcfg)
+		if err != nil {
+			panic(err)
+		}
+		return hb
+	}
+	bench("hybrid_serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = hybridWith(1)
+		}
+	})
+	bench("hybrid_parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = hybridWith(0)
+		}
+	})
+
+	partitionWith := func(procs int) {
+		opt := partition.DefaultOptions(16)
+		opt.Procs = procs
+		if _, err := partition.PartitionSet(s.Hyb.Set, opt); err != nil {
+			panic(err)
+		}
+	}
+	bench("partition_serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			partitionWith(1)
+		}
+	})
+	bench("partition_parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			partitionWith(8)
+		}
+	})
+
+	combined := func(workers, procs int) {
+		mset := coarsenWith(workers)
+		hcfg := s.Cfg.Hybrid
+		hcfg.Workers = workers
+		hb, err := hybrid.Build(mset, s.Reads, s.Records, hcfg)
+		if err != nil {
+			panic(err)
+		}
+		opt := partition.DefaultOptions(16)
+		opt.Procs = procs
+		if _, err := partition.PartitionSet(hb.Set, opt); err != nil {
+			panic(err)
+		}
+	}
+	bench("combined_serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			combined(1, 1)
+		}
+	})
+	bench("combined_parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			combined(0, 8)
+		}
+	})
+
+	f, err := os.Create("BENCH_graph.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 // baselines contrasts Focus with the de Bruijn baseline on the same read

@@ -64,6 +64,13 @@ type Config struct {
 	Coarsen  coarsen.Options
 	Hybrid   hybrid.Config
 	Assembly assembly.Config
+	// GraphWorkers bounds the worker pools of the graph-construction
+	// stages: the overlap-graph CSR edge merge, coarsening
+	// (matching + contraction) and the hybrid layout search. <= 0 means
+	// GOMAXPROCS. Purely a throughput knob — stage outputs are identical
+	// at any value. Per-stage knobs (Coarsen.Workers, Hybrid.Workers)
+	// take precedence when set.
+	GraphWorkers int
 	// CallVariants enables distributed variant detection (the paper's
 	// §VI.D future-work extension): bubbles are classified and reported
 	// before the error-removal phase pops them.
@@ -103,6 +110,20 @@ func DefaultConfig() Config {
 	return cfg
 }
 
+// applyGraphWorkers propagates Config.GraphWorkers into the per-stage
+// worker knobs that are still unset.
+func (cfg Config) applyGraphWorkers() Config {
+	if cfg.GraphWorkers > 0 {
+		if cfg.Coarsen.Workers == 0 {
+			cfg.Coarsen.Workers = cfg.GraphWorkers
+		}
+		if cfg.Hybrid.Workers == 0 {
+			cfg.Hybrid.Workers = cfg.GraphWorkers
+		}
+	}
+	return cfg
+}
+
 // Stages holds every intermediate pipeline artifact.
 type Stages struct {
 	Cfg      Config
@@ -117,6 +138,7 @@ type Stages struct {
 
 // BuildStages runs the pipeline through hybrid graph construction.
 func BuildStages(raw []Read, cfg Config) (*Stages, error) {
+	cfg = cfg.applyGraphWorkers()
 	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
 	step := func(name string, f func() error) error {
 		t0 := time.Now()
@@ -150,7 +172,7 @@ func BuildStages(raw []Read, cfg Config) (*Stages, error) {
 	}
 	if err := step("graph", func() error {
 		var err error
-		s.G0, err = overlap.BuildGraph(len(s.Reads), s.Records)
+		s.G0, err = overlap.BuildGraphPar(len(s.Reads), s.Records, cfg.GraphWorkers)
 		return err
 	}); err != nil {
 		return nil, err
@@ -176,6 +198,7 @@ func BuildStages(raw []Read, cfg Config) (*Stages, error) {
 // different processors), instead of local goroutines. Results are
 // identical to BuildStages for the same configuration.
 func BuildStagesOnPool(raw []Read, cfg Config, pool *dist.Pool) (*Stages, error) {
+	cfg = cfg.applyGraphWorkers()
 	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
 	t0 := time.Now()
 	var err error
@@ -198,7 +221,7 @@ func BuildStagesOnPool(raw []Read, cfg Config, pool *dist.Pool) (*Stages, error)
 		return nil, fmt.Errorf("focus: overlap: %w", err)
 	}
 	t0 = time.Now()
-	s.G0, err = overlap.BuildGraph(len(s.Reads), s.Records)
+	s.G0, err = overlap.BuildGraphPar(len(s.Reads), s.Records, cfg.GraphWorkers)
 	s.Timings["graph"] = time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("focus: graph: %w", err)
@@ -222,6 +245,7 @@ func BuildStagesOnPool(raw []Read, cfg Config, pool *dist.Pool) (*Stages, error)
 // config; numReads (from the record file) is validated against the
 // preprocessed read count.
 func BuildStagesFromRecords(raw []Read, records []overlap.Record, numReads int, cfg Config) (*Stages, error) {
+	cfg = cfg.applyGraphWorkers()
 	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
 	t0 := time.Now()
 	var err error
@@ -235,7 +259,7 @@ func BuildStagesFromRecords(raw []Read, records []overlap.Record, numReads int, 
 	}
 	s.Records = records
 	t0 = time.Now()
-	s.G0, err = overlap.BuildGraph(len(s.Reads), s.Records)
+	s.G0, err = overlap.BuildGraphPar(len(s.Reads), s.Records, cfg.GraphWorkers)
 	s.Timings["graph"] = time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("focus: graph: %w", err)

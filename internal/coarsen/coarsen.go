@@ -3,10 +3,22 @@
 // the multilevel graph set G = {G0, G1, …, Gn} of paper §II.C: each level
 // is formed by finding a matching on the previous level and merging the
 // endpoints of every matched edge.
+//
+// Matching runs as a sharded, round-based "local-max" algorithm: every
+// unmatched node proposes its heaviest live incident edge under a seeded
+// total edge order, mutual proposals are claimed with atomic CAS, and
+// rounds repeat until the matching is maximal. Because proposals are
+// computed from a barrier-separated snapshot and the edge order is a pure
+// function of (seed, endpoints, weight), the matching is byte-identical
+// at any worker count — the determinism contract the equivalence tests
+// enforce.
 package coarsen
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"focus/internal/graph"
 )
@@ -23,8 +35,12 @@ type Options struct {
 	// less than this factor (e.g. 0.05 requires each round to remove at
 	// least 5% of nodes).
 	MinShrink float64
-	// Seed drives the random visit order of heavy-edge matching.
+	// Seed drives the tie-break priorities of heavy-edge matching. For a
+	// fixed seed the multilevel set is identical at any Workers value.
 	Seed int64
+	// Workers bounds the matching/contraction worker pool; <= 0 means
+	// GOMAXPROCS. Purely a throughput knob — never changes results.
+	Workers int
 }
 
 // DefaultOptions mirror the paper's setup.
@@ -32,10 +48,12 @@ func DefaultOptions() Options {
 	return Options{MaxLevels: 10, MinNodes: 32, MinShrink: 0.05, Seed: 1}
 }
 
-// HeavyEdgeMatching computes a matching on g: nodes are visited in random
-// order and each unmatched node is matched to its unmatched neighbour with
-// the heaviest connecting edge (ties to the smaller id). match[v] is v's
-// partner, or -1 if v is unmatched.
+// HeavyEdgeMatching computes a matching on g with the serial greedy
+// heuristic: nodes are visited in random order and each unmatched node is
+// matched to its unmatched neighbour with the heaviest connecting edge
+// (ties to the smaller id). match[v] is v's partner, or -1 if v is
+// unmatched. Retained as the order-dependent reference; the pipeline uses
+// HeavyEdgeMatchingPar, whose result is visit-order independent.
 func HeavyEdgeMatching(g *graph.Graph, rng *rand.Rand) []int {
 	n := g.NumNodes()
 	match := make([]int, n)
@@ -65,12 +83,175 @@ func HeavyEdgeMatching(g *graph.Graph, rng *rand.Rand) []int {
 	return match
 }
 
+// splitmix64 is the SplitMix64 finalizer, used to derive per-node
+// tie-break priorities from the seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// edgeKey is the seeded total order on edges: weight first, then a
+// symmetric hash of the endpoint priorities, then the canonical id pair.
+// Both endpoints of an edge compute the same key, so the globally maximal
+// live edge is a mutual proposal every round (guaranteeing progress).
+type edgeKey struct {
+	w      int64
+	h      uint64
+	lo, hi int32
+}
+
+func makeEdgeKey(w int64, pv, pu uint64, v, u int) edgeKey {
+	lo, hi := int32(v), int32(u)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return edgeKey{w: w, h: splitmix64(pv ^ pu), lo: lo, hi: hi}
+}
+
+func (k edgeKey) greater(o edgeKey) bool {
+	if k.w != o.w {
+		return k.w > o.w
+	}
+	if k.h != o.h {
+		return k.h > o.h
+	}
+	if k.lo != o.lo {
+		return k.lo < o.lo
+	}
+	return k.hi < o.hi
+}
+
+// HeavyEdgeMatchingPar computes a maximal heavy-edge matching with the
+// sharded round-based algorithm. The result is a pure function of
+// (g, seed): identical at any worker count, including workers == 1
+// (the serial path, which runs the same rounds without goroutines).
+func HeavyEdgeMatchingPar(g *graph.Graph, seed int64, workers int) []int {
+	n := g.NumNodes()
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if n < 2048 {
+			w = 1
+		}
+	}
+	if w > n && n > 0 {
+		w = n
+	}
+
+	pri := make([]uint64, n)
+	for v := range pri {
+		pri[v] = splitmix64(uint64(seed) + uint64(v)*0x9e3779b97f4a7c15)
+	}
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	prop := make([]int32, n)
+
+	propose := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			prop[v] = -1
+			if match[v] != -1 {
+				continue
+			}
+			best := int32(-1)
+			var bestKey edgeKey
+			for _, a := range g.Adj(v) {
+				if match[a.To] != -1 {
+					continue
+				}
+				k := makeEdgeKey(a.W, pri[v], pri[a.To], v, a.To)
+				if best == -1 || k.greater(bestKey) {
+					best, bestKey = int32(a.To), k
+				}
+			}
+			prop[v] = best
+		}
+	}
+	// resolve claims mutual proposals. Only the smaller endpoint writes,
+	// so pairs (which are disjoint — each node has one proposal) never
+	// race; the CAS guards the claim and the partner slot is stored
+	// atomically for the concurrent readers in other shards.
+	resolve := func(lo, hi int) int {
+		claimed := 0
+		for v := lo; v < hi; v++ {
+			u := prop[v]
+			if u < 0 || int(u) < v {
+				continue
+			}
+			if atomic.LoadInt32(&match[v]) != -1 || prop[u] != int32(v) {
+				continue
+			}
+			if atomic.CompareAndSwapInt32(&match[v], -1, u) {
+				atomic.StoreInt32(&match[u], int32(v))
+				claimed++
+			}
+		}
+		return claimed
+	}
+
+	for {
+		claimed := 0
+		if w <= 1 {
+			propose(0, n)
+			claimed = resolve(0, n)
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(w)
+			for p := 0; p < w; p++ {
+				go func(p int) {
+					defer wg.Done()
+					lo := n * p / w
+					hi := n * (p + 1) / w
+					propose(lo, hi)
+				}(p)
+			}
+			wg.Wait()
+			counts := make([]int, w)
+			wg.Add(w)
+			for p := 0; p < w; p++ {
+				go func(p int) {
+					defer wg.Done()
+					lo := n * p / w
+					hi := n * (p + 1) / w
+					counts[p] = resolve(lo, hi)
+				}(p)
+			}
+			wg.Wait()
+			for _, c := range counts {
+				claimed += c
+			}
+		}
+		if claimed == 0 {
+			break
+		}
+	}
+
+	out := make([]int, n)
+	for v := range out {
+		out[v] = int(match[v])
+	}
+	return out
+}
+
 // Contract merges matched node pairs into single nodes, producing the next
 // coarser graph and the up-map (up[v] = v's node in the coarse graph).
 // Merged node weights are summed; parallel edges are combined by summing;
-// edges internal to a merged pair disappear.
+// edges internal to a merged pair disappear. Counting, arc emission and
+// the edge merge run on a GOMAXPROCS-sized pool; use ContractPar for an
+// explicit worker count. Identical output at any worker count.
 func Contract(g *graph.Graph, match []int) (*graph.Graph, []int) {
+	return ContractPar(g, match, 0)
+}
+
+// ContractPar is Contract with an explicit worker count (<= 0 means
+// GOMAXPROCS).
+func ContractPar(g *graph.Graph, match []int, workers int) (*graph.Graph, []int) {
 	n := g.NumNodes()
+	// Coarse ids are assigned in fine-node order: deterministic and
+	// inherently serial, but O(n) and cheap next to the edge merge.
 	up := make([]int, n)
 	for i := range up {
 		up[i] = -1
@@ -86,43 +267,23 @@ func Contract(g *graph.Graph, match []int) (*graph.Graph, []int) {
 		}
 		next++
 	}
-	b := graph.NewBuilder(next)
-	weights := make([]int64, next)
-	for v := 0; v < n; v++ {
-		weights[up[v]] += g.NodeWeight(v)
-	}
-	for c, w := range weights {
-		b.SetNodeWeight(c, w)
-	}
-	for v := 0; v < n; v++ {
-		for _, a := range g.Adj(v) {
-			if a.To <= v {
-				continue // each undirected edge once
-			}
-			if up[v] == up[a.To] {
-				continue // internal to a merged pair
-			}
-			// Builder merges parallel edges by summation.
-			_ = b.AddEdge(up[v], up[a.To], a.W)
-		}
-	}
-	return b.Build(), up
+	return graph.Contract(g, up, next, workers), up
 }
 
 // Multilevel coarsens g0 into a multilevel graph set. Levels[0] is g0.
+// For a fixed Options.Seed the set is identical at any Options.Workers.
 func Multilevel(g0 *graph.Graph, opt Options) *graph.Set {
 	if opt.MaxLevels <= 0 {
 		opt.MaxLevels = 1
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	set := &graph.Set{Levels: []*graph.Graph{g0}}
 	cur := g0
 	for level := 1; level < opt.MaxLevels; level++ {
 		if cur.NumNodes() <= opt.MinNodes {
 			break
 		}
-		match := HeavyEdgeMatching(cur, rng)
-		coarse, up := Contract(cur, match)
+		match := HeavyEdgeMatchingPar(cur, opt.Seed+int64(level)*1_000_003, opt.Workers)
+		coarse, up := ContractPar(cur, match, opt.Workers)
 		shrink := 1 - float64(coarse.NumNodes())/float64(cur.NumNodes())
 		if shrink < opt.MinShrink {
 			break

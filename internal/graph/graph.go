@@ -2,6 +2,12 @@
 // coarsening, hybrid-graph and partitioning stages. The overlap graph G0
 // (paper §II.C) has one node per read and one weighted edge per accepted
 // overlap, the edge weight being the alignment length.
+//
+// Graphs are stored in CSR (compressed sparse row) form: one offsets
+// array plus one packed arcs array, adjacency sorted by neighbour id
+// within each node. Construction merges parallel edges with a sort-based
+// counting pipeline (see csr.go) that runs on a bounded worker pool and
+// produces an identical graph at any worker count.
 package graph
 
 import (
@@ -15,18 +21,28 @@ type Arc struct {
 	W  int64
 }
 
+// Edge is a weighted undirected edge in bulk-construction form.
+type Edge struct {
+	U, V int32
+	W    int64
+}
+
 // Graph is a static undirected weighted graph with weighted nodes.
 // Parallel edges are merged at build time (weights summed); self-loops are
-// dropped.
+// dropped. The adjacency lives in one packed CSR arena: offsets has
+// NumNodes()+1 entries and arcs[offsets[v]:offsets[v+1]] is the
+// neighbourhood of v, sorted by neighbour id.
 type Graph struct {
 	nodeWeight []int64
-	adj        [][]Arc
+	offsets    []int32
+	arcs       []Arc
 	totalEdgeW int64 // sum of edge weights, each edge counted once
+	totalNodeW int64 // cached sum of node weights
 	numEdges   int
 }
 
 // NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return len(g.adj) }
+func (g *Graph) NumNodes() int { return len(g.nodeWeight) }
 
 // NumEdges returns |E| (undirected edges).
 func (g *Graph) NumEdges() int { return g.numEdges }
@@ -37,38 +53,66 @@ func (g *Graph) TotalEdgeWeight() int64 { return g.totalEdgeW }
 // NodeWeight returns the weight of node v.
 func (g *Graph) NodeWeight(v int) int64 { return g.nodeWeight[v] }
 
-// TotalNodeWeight returns the sum of node weights.
-func (g *Graph) TotalNodeWeight() int64 {
-	var t int64
-	for _, w := range g.nodeWeight {
-		t += w
-	}
-	return t
-}
+// TotalNodeWeight returns the sum of node weights, cached at build time.
+func (g *Graph) TotalNodeWeight() int64 { return g.totalNodeW }
 
 // Adj returns the adjacency list of v, sorted by neighbour id. Callers
 // must not modify it.
-func (g *Graph) Adj(v int) []Arc { return g.adj[v] }
+func (g *Graph) Adj(v int) []Arc {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.arcs[lo:hi:hi]
+}
 
 // Degree returns the number of distinct neighbours of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
 // EdgeWeight returns the weight of edge {u,v}, or 0 if absent.
 func (g *Graph) EdgeWeight(u, v int) int64 {
-	arcs := g.adj[u]
-	i := sort.Search(len(arcs), func(i int) bool { return arcs[i].To >= v })
-	if i < len(arcs) && arcs[i].To == v {
-		return arcs[i].W
+	lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.arcs[mid].To < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(g.offsets[u+1]) && g.arcs[lo].To == v {
+		return g.arcs[lo].W
 	}
 	return 0
+}
+
+// Equal reports whether two graphs are byte-identical: same node weights,
+// same CSR offsets and same packed arcs.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.NumNodes() != o.NumNodes() || g.numEdges != o.numEdges ||
+		g.totalEdgeW != o.totalEdgeW || g.totalNodeW != o.totalNodeW {
+		return false
+	}
+	for i, w := range g.nodeWeight {
+		if o.nodeWeight[i] != w {
+			return false
+		}
+	}
+	for i, off := range g.offsets {
+		if o.offsets[i] != off {
+			return false
+		}
+	}
+	for i, a := range g.arcs {
+		if o.arcs[i] != a {
+			return false
+		}
+	}
+	return true
 }
 
 // Builder accumulates edges for a Graph.
 type Builder struct {
 	n          int
 	nodeWeight []int64
-	us, vs     []int32
-	ws         []int64
+	edges      []Edge
 }
 
 // NewBuilder creates a builder for n nodes, all with weight 1.
@@ -92,46 +136,89 @@ func (b *Builder) AddEdge(u, v int, w int64) error {
 	if u == v {
 		return nil
 	}
-	b.us = append(b.us, int32(u))
-	b.vs = append(b.vs, int32(v))
-	b.ws = append(b.ws, w)
+	b.edges = append(b.edges, Edge{U: int32(u), V: int32(v), W: w})
 	return nil
 }
 
-// Build assembles the graph, merging parallel edges.
-func (b *Builder) Build() *Graph {
+// AddEdges bulk-appends edges (self-loops are skipped, weights of repeated
+// pairs accumulate at Build).
+func (b *Builder) AddEdges(edges []Edge) error {
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= b.n || e.V < 0 || int(e.V) >= b.n {
+			return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, b.n)
+		}
+	}
+	b.edges = append(b.edges, edges...)
+	return nil
+}
+
+// Build assembles the graph, merging parallel edges, on a worker pool
+// sized by GOMAXPROCS. The result is identical at any worker count.
+func (b *Builder) Build() *Graph { return b.BuildPar(0) }
+
+// BuildPar is Build with an explicit worker count (<= 0 means
+// GOMAXPROCS). The output is byte-identical for every worker count.
+func (b *Builder) BuildPar(workers int) *Graph {
+	return buildCSR(b.n, b.nodeWeight, [][]Edge{b.edges}, workers)
+}
+
+// BuildMapMerge is the pre-CSR reference implementation of Build: a
+// map-based edge merge followed by per-node sorting. It is retained for
+// equivalence tests and allocation benchmarks against the sort-based
+// pipeline; new code should call Build.
+func (b *Builder) BuildMapMerge() *Graph {
 	type key struct{ u, v int32 }
-	merged := make(map[key]int64, len(b.us))
-	for i := range b.us {
-		u, v := b.us[i], b.vs[i]
+	merged := make(map[key]int64, len(b.edges))
+	for _, e := range b.edges {
+		u, v := e.U, e.V
+		if u == v {
+			continue
+		}
 		if u > v {
 			u, v = v, u
 		}
-		merged[key{u, v}] += b.ws[i]
+		merged[key{u, v}] += e.W
 	}
-	g := &Graph{
-		nodeWeight: b.nodeWeight,
-		adj:        make([][]Arc, b.n),
-	}
+	adj := make([][]Arc, b.n)
 	deg := make([]int, b.n)
 	for k := range merged {
 		deg[k.u]++
 		deg[k.v]++
 	}
-	for v := range g.adj {
-		g.adj[v] = make([]Arc, 0, deg[v])
+	for v := range adj {
+		adj[v] = make([]Arc, 0, deg[v])
 	}
+	g := &Graph{nodeWeight: b.nodeWeight}
 	for k, w := range merged {
-		g.adj[k.u] = append(g.adj[k.u], Arc{To: int(k.v), W: w})
-		g.adj[k.v] = append(g.adj[k.v], Arc{To: int(k.u), W: w})
+		adj[k.u] = append(adj[k.u], Arc{To: int(k.v), W: w})
+		adj[k.v] = append(adj[k.v], Arc{To: int(k.u), W: w})
 		g.totalEdgeW += w
 		g.numEdges++
 	}
-	for v := range g.adj {
-		arcs := g.adj[v]
+	for _, w := range b.nodeWeight {
+		g.totalNodeW += w
+	}
+	g.offsets = make([]int32, b.n+1)
+	total := 0
+	for v, arcs := range adj {
 		sort.Slice(arcs, func(i, j int) bool { return arcs[i].To < arcs[j].To })
+		total += len(arcs)
+		g.offsets[v+1] = int32(total)
+	}
+	g.arcs = make([]Arc, 0, total)
+	for _, arcs := range adj {
+		g.arcs = append(g.arcs, arcs...)
 	}
 	return g
+}
+
+// FromEdges builds a graph directly from pre-validated edge shards: every
+// edge's endpoints must lie in [0,n) (self-loops are dropped). nodeWeight
+// is adopted, not copied, and must have n entries. The shards may come
+// from concurrent emitters; the result depends only on the multiset of
+// edges, not on sharding or worker count.
+func FromEdges(n int, nodeWeight []int64, shards [][]Edge, workers int) *Graph {
+	return buildCSR(n, nodeWeight, shards, workers)
 }
 
 // Set is a coarsening hierarchy: Levels[0] is the finest graph and
@@ -169,12 +256,30 @@ func (s *Set) Validate() error {
 func (s *Set) Coarsest() *Graph { return s.Levels[len(s.Levels)-1] }
 
 // ProjectToFinest maps an assignment on the coarsest level down to level 0:
-// each node inherits the value of its ancestor.
+// each node inherits the value of its ancestor. A flip-flop buffer pair is
+// reused across levels, so the projection allocates at most two slices
+// regardless of depth.
 func (s *Set) ProjectToFinest(coarsest []int) []int {
+	if len(s.Up) == 0 {
+		return coarsest
+	}
+	maxN := 0
+	for _, up := range s.Up {
+		if len(up) > maxN {
+			maxN = len(up)
+		}
+	}
+	bufA := make([]int, maxN)
+	var bufB []int
+	if len(s.Up) > 1 {
+		bufB = make([]int, maxN)
+	}
 	cur := coarsest
 	for i := len(s.Up) - 1; i >= 0; i-- {
-		next := make([]int, len(s.Up[i]))
-		for v, p := range s.Up[i] {
+		up := s.Up[i]
+		next := bufA[:len(up)]
+		bufA, bufB = bufB, bufA // cur's storage becomes the next spare
+		for v, p := range up {
 			next[v] = cur[p]
 		}
 		cur = next

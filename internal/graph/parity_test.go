@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomBuilder fills a builder with a random weighted multigraph
+// (duplicate edges and self-loops included, to exercise merge/drop paths).
+func randomBuilder(n, edges int, rng *rand.Rand) *Builder {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetNodeWeight(v, int64(1+rng.Intn(5)))
+	}
+	for i := 0; i < edges; i++ {
+		_ = b.AddEdge(rng.Intn(n), rng.Intn(n), int64(1+rng.Intn(100)))
+	}
+	return b
+}
+
+// TestBuildMatchesMapMerge: the sort-based CSR build and the legacy
+// map-based merge produce identical graphs on random multigraphs.
+func TestBuildMatchesMapMerge(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		b := randomBuilder(n, rng.Intn(8*n), rng)
+		sorted := b.Build()
+		legacy := b.BuildMapMerge()
+		if !sorted.Equal(legacy) {
+			t.Fatalf("seed %d: sort-based build diverged from map merge", seed)
+		}
+		if sorted.TotalNodeWeight() != legacy.TotalNodeWeight() {
+			t.Fatalf("seed %d: node weight totals differ", seed)
+		}
+	}
+}
+
+// TestBuildParWorkerEquivalence: the parallel build is byte-identical at
+// worker counts 1, 2 and 8.
+func TestBuildParWorkerEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 2 + rng.Intn(300)
+		b := randomBuilder(n, rng.Intn(10*n), rng)
+		ref := b.BuildPar(1)
+		for _, w := range []int{2, 8} {
+			if got := b.BuildPar(w); !got.Equal(ref) {
+				t.Fatalf("seed %d: BuildPar(%d) != BuildPar(1)", seed, w)
+			}
+		}
+	}
+}
+
+// TestContractWorkerEquivalence: Contract is byte-identical at worker
+// counts 1, 2 and 8 for random group mappings.
+func TestContractWorkerEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		n := 2 + rng.Intn(300)
+		g := randomBuilder(n, rng.Intn(10*n), rng).Build()
+		numGroups := 1 + rng.Intn(n)
+		group := make([]int, n)
+		for v := range group {
+			group[v] = rng.Intn(numGroups)
+		}
+		ref := Contract(g, group, numGroups, 1)
+		for _, w := range []int{2, 8} {
+			if got := Contract(g, group, numGroups, w); !got.Equal(ref) {
+				t.Fatalf("seed %d: Contract with %d workers diverged", seed, w)
+			}
+		}
+	}
+}
+
+// TestContractTotals: contraction preserves node-weight totals and never
+// increases edge weight (intra-group edges vanish).
+func TestContractTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomBuilder(120, 600, rng).Build()
+	group := make([]int, 120)
+	for v := range group {
+		group[v] = v / 3
+	}
+	c := Contract(g, group, 40, 0)
+	if c.TotalNodeWeight() != g.TotalNodeWeight() {
+		t.Fatalf("node weight %d -> %d", g.TotalNodeWeight(), c.TotalNodeWeight())
+	}
+	if c.TotalEdgeWeight() > g.TotalEdgeWeight() {
+		t.Fatalf("edge weight grew: %d -> %d", g.TotalEdgeWeight(), c.TotalEdgeWeight())
+	}
+}
+
+func benchBuilder(n, deg int) *Builder {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder(n)
+	for i := 0; i < n*deg; i++ {
+		_ = b.AddEdge(rng.Intn(n), rng.Intn(n), int64(1+rng.Intn(100)))
+	}
+	return b
+}
+
+// BenchmarkGraphBuild compares the legacy map-based edge merge against the
+// sort-based CSR build, serial and parallel.
+func BenchmarkGraphBuild(b *testing.B) {
+	bld := benchBuilder(20000, 16)
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bld.BuildMapMerge()
+		}
+	})
+	b.Run("sorted-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bld.BuildPar(1)
+		}
+	})
+	b.Run("sorted-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = bld.BuildPar(0)
+		}
+	})
+}

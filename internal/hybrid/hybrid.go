@@ -9,7 +9,10 @@ package hybrid
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"focus/internal/dna"
 	"focus/internal/graph"
@@ -55,6 +58,12 @@ type Config struct {
 	// overlap acceptance threshold so sparse seed sampling does not cause
 	// spurious rejections.
 	RequireOverlap int
+	// Workers bounds the pool that fans the per-cluster layout tests out
+	// (each worker owns its own layoutScratch); <= 0 means GOMAXPROCS.
+	// Hybrid output is identical at any worker count: clusters at one
+	// level are disjoint, and representatives are committed serially in
+	// cluster order after the parallel tests.
+	Workers int
 }
 
 // DefaultConfig returns the default linearity tolerances.
@@ -106,10 +115,27 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 		h.RepOf[v] = -1
 	}
 
-	// Top-down selection: coarsest level first.
-	scratch := newLayoutScratch(n0, reads, recs, inc, cfg)
+	// Top-down selection: coarsest level first. Within one level the
+	// clusters are disjoint, so their layout tests are embarrassingly
+	// parallel: candidates fan out over a bounded pool (one layoutScratch
+	// per worker), then accepted representatives are committed serially
+	// in cluster order so node numbering — and therefore the whole hybrid
+	// graph — is identical at any worker count.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scratches := make([]*layoutScratch, workers)
+	scratches[0] = newLayoutScratch(n0, reads, recs, inc, cfg)
+	type layoutResult struct {
+		node Node
+		ok   bool
+	}
+	var cands [][]int
+	var results []layoutResult
 	for level := levels - 1; level >= 0; level-- {
 		clusters := clustersAt(assignAt[level], mset.Levels[level].NumNodes())
+		cands = cands[:0]
 		for _, members := range clusters {
 			if len(members) == 0 {
 				continue
@@ -117,12 +143,49 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 			if h.RepOf[members[0]] != -1 {
 				continue // already covered by a higher-level representative
 			}
-			node, ok := scratch.tryLayout(members, level)
-			if !ok {
+			cands = append(cands, members)
+		}
+		if cap(results) < len(cands) {
+			results = make([]layoutResult, len(cands))
+		}
+		results = results[:len(cands)]
+		w := workers
+		if w > len(cands) {
+			w = len(cands)
+		}
+		if w <= 1 {
+			for i, members := range cands {
+				node, ok := scratches[0].tryLayout(members, level)
+				results[i] = layoutResult{node, ok}
+			}
+		} else {
+			var next int64
+			var wg sync.WaitGroup
+			wg.Add(w)
+			for p := 0; p < w; p++ {
+				if scratches[p] == nil {
+					scratches[p] = newLayoutScratch(n0, reads, recs, inc, cfg)
+				}
+				go func(sc *layoutScratch) {
+					defer wg.Done()
+					for {
+						i := int(atomic.AddInt64(&next, 1)) - 1
+						if i >= len(cands) {
+							return
+						}
+						node, ok := sc.tryLayout(cands[i], level)
+						results[i] = layoutResult{node, ok}
+					}
+				}(scratches[p])
+			}
+			wg.Wait()
+		}
+		for i, members := range cands {
+			if !results[i].ok {
 				continue // not linear; descend to children
 			}
 			id := len(h.Nodes)
-			h.Nodes = append(h.Nodes, node)
+			h.Nodes = append(h.Nodes, results[i].node)
 			for _, m := range members {
 				h.RepOf[m] = id
 			}
@@ -135,27 +198,18 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 		}
 	}
 
-	// Hybrid graph G'0: contract G0 by RepOf.
-	b := graph.NewBuilder(len(h.Nodes))
+	// Hybrid graph G'0: contract G0 by RepOf. Node weights are the cluster
+	// sizes (read counts), set explicitly rather than summed from G0.
+	nw := make([]int64, len(h.Nodes))
 	for i, n := range h.Nodes {
-		b.SetNodeWeight(i, int64(len(n.Members)))
+		nw[i] = int64(len(n.Members))
 	}
-	for v := 0; v < n0; v++ {
-		for _, a := range g0.Adj(v) {
-			if a.To <= v {
-				continue
-			}
-			if h.RepOf[v] != h.RepOf[a.To] {
-				_ = b.AddEdge(h.RepOf[v], h.RepOf[a.To], a.W)
-			}
-		}
-	}
-	h.G = b.Build()
+	h.G = graph.ContractWithWeights(g0, h.RepOf, nw, workers)
 
 	// Hybrid graph set: at level i, nodes of Gi whose cluster belongs to a
 	// representative chosen at level >= i collapse into that
 	// representative; the rest stay as themselves (paper Fig. 1B).
-	set, err := buildHybridSet(mset, assignAt, h)
+	set, err := buildHybridSet(mset, assignAt, h, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +228,7 @@ func clustersAt(assign []int, numNodes int) [][]int {
 
 // buildHybridSet contracts every multilevel level by the representative
 // assignment to produce the hybrid set and its up-maps.
-func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid) (*graph.Set, error) {
+func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid, workers int) (*graph.Set, error) {
 	levels := len(mset.Levels)
 	set := &graph.Set{}
 	// groupOf[i][v] = hybrid-set node of level-i node v; sizes[i] = count.
@@ -195,7 +249,13 @@ func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid) (*graph.Set, e
 		// Slot layout: representatives first (in rep-id order, so that
 		// level 0 of the hybrid set uses exactly the hybrid node ids),
 		// then the surviving plain level-i nodes in id order.
-		repPresent := map[int]bool{}
+		// repSlot[r] = dense slot of representative r, or -1. Slots are
+		// assigned in ascending rep-id order, so level 0 of the hybrid
+		// set uses exactly the hybrid node ids.
+		repSlot := make([]int, len(h.Nodes))
+		for r := range repSlot {
+			repSlot[r] = -1
+		}
 		repFor := make([]int, gi.NumNodes()) // rep id, or -1 for plain
 		for v := 0; v < gi.NumNodes(); v++ {
 			m := first[v]
@@ -205,21 +265,18 @@ func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid) (*graph.Set, e
 			r := h.RepOf[m]
 			if h.Nodes[r].Level >= i {
 				repFor[v] = r
-				repPresent[r] = true
+				repSlot[r] = 0
 			} else {
 				repFor[v] = -1
 			}
 		}
-		repIDs := make([]int, 0, len(repPresent))
-		for r := range repPresent {
-			repIDs = append(repIDs, r)
+		next := 0
+		for r := range repSlot {
+			if repSlot[r] == 0 {
+				repSlot[r] = next
+				next++
+			}
 		}
-		sort.Ints(repIDs)
-		repSlot := make(map[int]int, len(repIDs))
-		for slot, r := range repIDs {
-			repSlot[r] = slot
-		}
-		next := len(repIDs)
 		for v := 0; v < gi.NumNodes(); v++ {
 			if r := repFor[v]; r != -1 {
 				group[v] = repSlot[r]
@@ -229,24 +286,9 @@ func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid) (*graph.Set, e
 			}
 		}
 		groupOf[i] = group
-		// Contract level i by group.
-		b := graph.NewBuilder(next)
-		weights := make([]int64, next)
-		for v := 0; v < gi.NumNodes(); v++ {
-			weights[group[v]] += gi.NodeWeight(v)
-		}
-		for c, w := range weights {
-			b.SetNodeWeight(c, w)
-		}
-		for v := 0; v < gi.NumNodes(); v++ {
-			for _, a := range gi.Adj(v) {
-				if a.To <= v || group[v] == group[a.To] {
-					continue
-				}
-				_ = b.AddEdge(group[v], group[a.To], a.W)
-			}
-		}
-		set.Levels = append(set.Levels, b.Build())
+		// Contract level i by group: weights sum within groups, crossing
+		// edges merge, all on the bounded worker pool.
+		set.Levels = append(set.Levels, graph.Contract(gi, group, next, workers))
 	}
 	// Up-maps: follow any G0 member through the next level's grouping.
 	for i := 0; i+1 < levels; i++ {
@@ -276,7 +318,11 @@ func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid) (*graph.Set, e
 	return set, nil
 }
 
-// layoutScratch holds reusable state for cluster layout tests.
+// layoutScratch holds reusable state for cluster layout tests. Each
+// worker owns exactly one scratch: the dense n-sized bitmaps are reset
+// on exit from every tryLayout call, and the variable-size buffers
+// (queue, order, pairs, counts) are truncated and reused so steady-state
+// layout tests allocate only their accepted Node results.
 type layoutScratch struct {
 	reads   []dna.Read
 	recs    []overlap.Record
@@ -285,12 +331,21 @@ type layoutScratch struct {
 	inSet   []bool // membership bitmap, reset after each use
 	pos     []int
 	visited []bool
+	queue   []int      // BFS worklist
+	order   []placed   // members sorted by (offset, id)
+	mark    []int64    // record-backed partner stamps (epoch-keyed)
+	epoch   int64      // current stamp; bumped instead of clearing mark
+	counts  [][4]int32 // consensus vote columns
 }
+
+// placed is a cluster member at its normalized layout offset.
+type placed struct{ v, off int }
 
 func newLayoutScratch(n int, reads []dna.Read, recs []overlap.Record, inc [][]int32, cfg Config) *layoutScratch {
 	return &layoutScratch{
 		reads: reads, recs: recs, inc: inc, cfg: cfg,
 		inSet: make([]bool, n), pos: make([]int, n), visited: make([]bool, n),
+		mark: make([]int64, n),
 	}
 }
 
@@ -321,12 +376,13 @@ func (s *layoutScratch) tryLayout(members []int, level int) (Node, bool) {
 	start := members[0]
 	s.pos[start] = 0
 	s.visited[start] = true
-	queue := []int{start}
+	queue := append(s.queue[:0], start)
+	head := 0
 	count := 1
 	ok := true
-	for len(queue) > 0 && ok {
-		v := queue[0]
-		queue = queue[1:]
+	for head < len(queue) && ok {
+		v := queue[head]
+		head++
 		for _, ri := range s.inc[v] {
 			r := s.recs[ri]
 			// Position of B is always pos(A) + Diag.
@@ -359,6 +415,7 @@ func (s *layoutScratch) tryLayout(members []int, level int) (Node, bool) {
 			count++
 		}
 	}
+	s.queue = queue[:0]
 	if !ok || count != len(members) {
 		return Node{}, false // inconsistent or disconnected
 	}
@@ -370,16 +427,16 @@ func (s *layoutScratch) tryLayout(members []int, level int) (Node, bool) {
 			minPos = s.pos[m]
 		}
 	}
-	type placed struct{ v, off int }
-	order := make([]placed, 0, len(members))
+	order := s.order[:0]
 	for _, m := range members {
 		order = append(order, placed{m, s.pos[m] - minPos})
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].off != order[j].off {
-			return order[i].off < order[j].off
+	s.order = order
+	slices.SortFunc(order, func(a, b placed) int {
+		if a.off != b.off {
+			return a.off - b.off
 		}
-		return order[i].v < order[j].v
+		return a.v - b.v
 	})
 	end := 0
 	for _, p := range order {
@@ -395,21 +452,24 @@ func (s *layoutScratch) tryLayout(members []int, level int) (Node, bool) {
 	// overlap must be backed by a real overlap record. A layout that
 	// jumps between copies of an exact repeat places divergent reads on
 	// top of each other without evidence; reject it.
-	hasRec := make(map[[2]int32]bool)
-	for _, m := range members {
-		for _, ri := range s.inc[m] {
-			r := s.recs[ri]
-			if s.inSet[r.A] && s.inSet[r.B] {
-				a, b := r.A, r.B
-				if a > b {
-					a, b = b, a
+	// For each read in layout order, stamp its record-backed partners
+	// with a fresh epoch and demand every close pair carry a stamp. The
+	// mark array persists across calls; bumping the epoch invalidates
+	// old stamps without clearing.
+	for i := 0; i < len(order); i++ {
+		v := order[i].v
+		endI := order[i].off + len(s.reads[v].Seq)
+		if i+1 < len(order) && order[i+1].off <= endI-s.cfg.RequireOverlap {
+			s.epoch++
+			for _, ri := range s.inc[v] {
+				r := s.recs[ri]
+				u := int(r.B)
+				if u == v {
+					u = int(r.A)
 				}
-				hasRec[[2]int32{a, b}] = true
+				s.mark[u] = s.epoch
 			}
 		}
-	}
-	for i := 0; i < len(order); i++ {
-		endI := order[i].off + len(s.reads[order[i].v].Seq)
 		for j := i + 1; j < len(order); j++ {
 			if order[j].off > endI-s.cfg.RequireOverlap {
 				break // later reads overlap read i even less
@@ -423,18 +483,18 @@ func (s *layoutScratch) tryLayout(members []int, level int) (Node, bool) {
 			if implied < s.cfg.RequireOverlap {
 				continue
 			}
-			a, b := int32(order[i].v), int32(order[j].v)
-			if a > b {
-				a, b = b, a
-			}
-			if !hasRec[[2]int32{a, b}] {
+			if s.mark[order[j].v] != s.epoch {
 				return Node{}, false
 			}
 		}
 	}
 
 	// Consensus by per-column majority vote.
-	counts := make([][4]int32, end)
+	if cap(s.counts) < end {
+		s.counts = make([][4]int32, end)
+	}
+	counts := s.counts[:end]
+	clear(counts)
 	for _, p := range order {
 		for i, b := range s.reads[p.v].Seq {
 			if c, ok := dna.BaseCode(b); ok {

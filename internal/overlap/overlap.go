@@ -365,11 +365,17 @@ func (r Record) Flip() Record {
 // per read, one edge per overlap, weighted by alignment length
 // (paper §II.C).
 func BuildGraph(numReads int, records []Record) (*graph.Graph, error) {
+	return BuildGraphPar(numReads, records, 0)
+}
+
+// BuildGraphPar is BuildGraph with an explicit worker count for the CSR
+// edge merge (<= 0 means GOMAXPROCS). Output is identical at any count.
+func BuildGraphPar(numReads int, records []Record, workers int) (*graph.Graph, error) {
 	b := graph.NewBuilder(numReads)
 	for _, r := range records {
 		if err := b.AddEdge(int(r.A), int(r.B), int64(r.Len)); err != nil {
 			return nil, err
 		}
 	}
-	return b.Build(), nil
+	return b.BuildPar(workers), nil
 }

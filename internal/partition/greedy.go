@@ -28,6 +28,12 @@ type Options struct {
 	// SkipKWay disables the final global k-way refinement (ablation).
 	SkipKWay bool
 	Seed     int64
+	// Workers bounds intra-task scan parallelism (KL gain initialization
+	// and k-way boundary scans) inside a single bisection or refinement
+	// task. <= 0 means 1. Purely a throughput knob: the output is
+	// identical at any value. PartitionSet overrides it per step so that
+	// regions-times-workers stays near Procs.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration for k partitions.
@@ -39,14 +45,17 @@ func DefaultOptions(k int) Options {
 // given level: roughly half (by node weight) keep `region`, the rest are
 // relabeled `newLabel`. Partition growth alternates between the two sides
 // whenever the growing side's internal edge weight exceeds Balance times
-// the other's, per paper §IV.A.
-func greedyGrow(g *graph.Graph, labels []int32, region, newLabel int32, opt Options, rng *rand.Rand) {
-	var nodes []int
+// the other's, per paper §IV.A. Side assignments and the two gain queues
+// live in the region's scratch (sc.side, sc.qa, sc.qb) and are restored
+// to their idle state before returning.
+func greedyGrow(g *graph.Graph, labels []int32, region, newLabel int32, opt Options, rng *rand.Rand, sc *klScratch) {
+	nodes := sc.members[:0]
 	for v := range labels {
 		if labels[v] == region {
 			nodes = append(nodes, v)
 		}
 	}
+	sc.members = nodes[:0]
 	if len(nodes) < 2 {
 		return
 	}
@@ -56,19 +65,20 @@ func greedyGrow(g *graph.Graph, labels []int32, region, newLabel int32, opt Opti
 	}
 	half := totalNW / 2
 
-	// side: 0 unassigned, 1 stays `region`, 2 becomes `newLabel`.
-	side := make(map[int]int8, len(nodes))
+	// side: -1 outside the region, 0 unassigned, 1 stays `region`,
+	// 2 becomes `newLabel`.
+	side := sc.side
 	for _, v := range nodes {
 		side[v] = 0
 	}
-	queues := [3]*pq.Max{nil, pq.NewMax(len(nodes)), pq.NewMax(len(nodes))}
+	queues := [3]*pq.Dense{nil, sc.qa, sc.qb}
 	var ew, nw [3]int64
 
 	// conn returns v's connection weight into side s (region nodes only).
 	conn := func(v int, s int8) int64 {
 		var c int64
 		for _, a := range g.Adj(v) {
-			if sv, ok := side[a.To]; ok && sv == s {
+			if side[a.To] == s {
 				c += a.W
 			}
 		}
@@ -79,8 +89,8 @@ func greedyGrow(g *graph.Graph, labels []int32, region, newLabel int32, opt Opti
 	gain := func(v int, s int8) int64 {
 		var in, out int64
 		for _, a := range g.Adj(v) {
-			sv, ok := side[a.To]
-			if !ok {
+			sv := side[a.To]
+			if sv < 0 {
 				continue
 			}
 			if sv == s {
@@ -102,7 +112,7 @@ func greedyGrow(g *graph.Graph, labels []int32, region, newLabel int32, opt Opti
 		queues[2].Remove(v)
 		// Refresh horizon gains of unassigned neighbours.
 		for _, a := range g.Adj(v) {
-			if sv, ok := side[a.To]; ok && sv == 0 {
+			if side[a.To] == 0 {
 				for _, qs := range [2]int8{1, 2} {
 					if queues[qs].Contains(a.To) {
 						queues[qs].Update(a.To, gain(a.To, qs))
@@ -183,5 +193,8 @@ func greedyGrow(g *graph.Graph, labels []int32, region, newLabel int32, opt Opti
 		if side[v] == 2 {
 			labels[v] = newLabel
 		}
+		side[v] = -1
 	}
+	sc.qa.Reset()
+	sc.qb.Reset()
 }

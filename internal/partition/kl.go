@@ -1,11 +1,107 @@
 package partition
 
 import (
-	"container/heap"
-
 	"focus/internal/graph"
 	"focus/internal/pq"
 )
+
+// gainParMin is the node count below which gain-initialization scans run
+// serially even when Options.Workers allows more.
+const gainParMin = 2048
+
+// klScratch is the dense per-region scratch state of the refinement
+// machinery: D values, membership bitmaps and the two priority queues are
+// flat arrays indexed by node id (allocated once per bisection region at
+// the finest level's size and reused down the whole level chain),
+// replacing the former map-based representation. One scratch is owned by
+// exactly one region goroutine at a time — never shared.
+type klScratch struct {
+	workers int       // gain-scan parallelism; 1 = serial
+	d       []int64   // D_v = E_v - I_v, valid where in[v]
+	in      []bool    // membership of the current {la,lb} universe
+	side    []int8    // greedyGrow: -1 outside region, 0 unassigned, 1, 2
+	members []int     // nodes of the current universe, ascending ids
+	qa, qb  *pq.Dense // gain queues (Dense: array-backed, map-free)
+	listA   []int     // diagonal-scan drain buffers
+	listB   []int
+	pairH   []pairItem
+	seen    map[[2]int]bool
+	shards  [][]int // per-worker member lists for parallel gain init
+}
+
+func newKLScratch(n, workers int) *klScratch {
+	if workers < 1 {
+		workers = 1
+	}
+	sc := &klScratch{
+		workers: workers,
+		d:       make([]int64, n),
+		in:      make([]bool, n),
+		side:    make([]int8, n),
+		qa:      pq.NewDense(n),
+		qb:      pq.NewDense(n),
+		seen:    make(map[[2]int]bool),
+		shards:  make([][]int, workers),
+	}
+	for i := range sc.side {
+		sc.side[i] = -1
+	}
+	return sc
+}
+
+// initD fills d/in/members for every node labeled la or lb. The scan over
+// nodes (the partitioner's gain initialization) fans out over worker
+// shards: shard results concatenate in shard order, so members stays
+// ascending and the result is identical at any worker count.
+func (sc *klScratch) initD(g *graph.Graph, labels []int32, la, lb int32) {
+	n := g.NumNodes()
+	sc.members = sc.members[:0]
+	scan := func(lo, hi int, members []int) []int {
+		for v := lo; v < hi; v++ {
+			if labels[v] != la && labels[v] != lb {
+				continue
+			}
+			var e, i int64
+			for _, a := range g.Adj(v) {
+				switch labels[a.To] {
+				case labels[v]:
+					i += a.W
+				case la, lb:
+					e += a.W
+				}
+			}
+			sc.d[v] = e - i
+			sc.in[v] = true
+			members = append(members, v)
+		}
+		return members
+	}
+	w := sc.workers
+	if w > 1 && n >= gainParMin {
+		if len(sc.shards) < w {
+			sc.shards = make([][]int, w)
+		}
+		parDo(w, func(p int) {
+			lo, hi := splitRange(n, w, p)
+			sc.shards[p] = scan(lo, hi, sc.shards[p][:0])
+		})
+		for p := 0; p < w; p++ {
+			sc.members = append(sc.members, sc.shards[p]...)
+		}
+	} else {
+		sc.members = scan(0, n, sc.members)
+	}
+}
+
+// release clears the universe state installed by initD.
+func (sc *klScratch) release() {
+	for _, v := range sc.members {
+		sc.in[v] = false
+	}
+	sc.members = sc.members[:0]
+	sc.qa.Reset()
+	sc.qb.Reset()
+}
 
 // klBisect refines the bisection {la, lb} of g with the Kernighan–Lin
 // pair-swap algorithm of paper §IV.B: nodes are kept in two priority
@@ -16,10 +112,10 @@ import (
 // partial gain sum. Passes repeat until no positive improvement remains.
 // Edges to nodes labeled neither la nor lb are cut regardless of the
 // refinement and are ignored. Returns the total edge-cut improvement.
-func klBisect(g *graph.Graph, labels []int32, la, lb int32, opt Options) int64 {
+func klBisect(g *graph.Graph, labels []int32, la, lb int32, opt Options, sc *klScratch) int64 {
 	var total int64
 	for {
-		improved := klPass(g, labels, la, lb, opt)
+		improved := klPass(g, labels, la, lb, opt, sc)
 		total += improved
 		if improved <= 0 {
 			return total
@@ -27,57 +123,65 @@ func klBisect(g *graph.Graph, labels []int32, la, lb int32, opt Options) int64 {
 	}
 }
 
-// dValues computes D_v = E_v - I_v for every node in {la, lb}.
-func dValues(g *graph.Graph, labels []int32, la, lb int32) map[int]int64 {
-	d := make(map[int]int64)
-	for v := range labels {
-		if labels[v] != la && labels[v] != lb {
-			continue
-		}
-		var e, i int64
-		for _, a := range g.Adj(v) {
-			switch labels[a.To] {
-			case labels[v]:
-				i += a.W
-			case la, lb:
-				e += a.W
-			}
-		}
-		d[v] = e - i
-	}
-	return d
-}
-
-// pairHeap enumerates index pairs (i, j) in decreasing key order.
+// pairItem enumerates diagonal-scan index pairs in decreasing key order
+// via an allocation-free manual max-heap (no container/heap boxing).
 type pairItem struct {
 	i, j int
 	key  int64
 }
-type pairHeap []pairItem
 
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairItem)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func pairPush(h *[]pairItem, it pairItem) {
+	*h = append(*h, it)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if a[parent].key >= a[i].key {
+			break
+		}
+		a[parent], a[i] = a[i], a[parent]
+		i = parent
+	}
+}
+
+func pairPop(h *[]pairItem) pairItem {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(a) && a[l].key > a[best].key {
+			best = l
+		}
+		if r < len(a) && a[r].key > a[best].key {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		a[i], a[best] = a[best], a[i]
+		i = best
+	}
+	return top
 }
 
 // klPass performs one KL pass and returns the realized improvement.
-func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options) int64 {
-	d := dValues(g, labels, la, lb)
-	qa, qb := pq.NewMax(len(d)), pq.NewMax(len(d))
-	for v, dv := range d {
+func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options, sc *klScratch) int64 {
+	sc.initD(g, labels, la, lb)
+	defer sc.release()
+	for _, v := range sc.members {
 		if labels[v] == la {
-			qa.Push(v, dv)
+			sc.qa.Push(v, sc.d[v])
 		} else {
-			qb.Push(v, dv)
+			sc.qb.Push(v, sc.d[v])
 		}
 	}
+	qa, qb := sc.qa, sc.qb
 	if qa.Len() == 0 || qb.Len() == 0 {
 		return 0
 	}
@@ -92,11 +196,8 @@ func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options) int64 {
 		earlyStop = 50
 	}
 
-	// Scratch buffers for the lazy diagonal scan.
-	var listA, listB []int // drained ids in descending D order
-
 	for qa.Len() > 0 && qb.Len() > 0 {
-		a, b, gain, ok := selectSwap(g, d, qa, qb, &listA, &listB)
+		a, b, gain, ok := selectSwap(g, sc)
 		if !ok {
 			break
 		}
@@ -110,25 +211,24 @@ func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options) int64 {
 		update := func(moved int, from int32) {
 			for _, arc := range g.Adj(moved) {
 				v := arc.To
-				if _, unlocked := d[v]; !unlocked {
+				if !sc.in[v] {
 					continue
 				}
-				if !qa.Contains(v) && !qb.Contains(v) {
+				inA := qa.Contains(v)
+				if !inA && !qb.Contains(v) {
 					continue // locked
 				}
 				var delta int64
 				if labels[v] == from {
 					delta = 2 * arc.W
-				} else if labels[v] == la || labels[v] == lb {
+				} else {
 					delta = -2 * arc.W
-				} else {
-					continue
 				}
-				d[v] += delta
-				if qa.Contains(v) {
-					qa.Update(v, d[v])
+				sc.d[v] += delta
+				if inA {
+					qa.Update(v, sc.d[v])
 				} else {
-					qb.Update(v, d[v])
+					qb.Update(v, sc.d[v])
 				}
 			}
 		}
@@ -165,10 +265,10 @@ func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options) int64 {
 // decreasing D_a + D_b; the scan stops once D_a + D_b <= gmax, which
 // bounds every remaining pair's gain. Drained queue entries are pushed
 // back before returning.
-func selectSwap(g *graph.Graph, d map[int]int64, qa, qb *pq.Max, listA, listB *[]int) (a, b int, gain int64, ok bool) {
-	*listA = (*listA)[:0]
-	*listB = (*listB)[:0]
-	ensure := func(q *pq.Max, list *[]int, n int) bool {
+func selectSwap(g *graph.Graph, sc *klScratch) (a, b int, gain int64, ok bool) {
+	qa, qb := sc.qa, sc.qb
+	listA, listB := sc.listA[:0], sc.listB[:0]
+	ensure := func(q *pq.Dense, list *[]int, n int) bool {
 		for len(*list) <= n {
 			id, _, ok := q.Pop()
 			if !ok {
@@ -179,43 +279,47 @@ func selectSwap(g *graph.Graph, d map[int]int64, qa, qb *pq.Max, listA, listB *[
 		return true
 	}
 	defer func() {
-		// Push drained entries back (minus the selected pair, removed by
-		// the caller afterwards — so push all back here; caller removes).
-		for _, v := range *listA {
-			qa.Push(v, d[v])
+		// Push drained entries back (the caller removes the selected pair
+		// afterwards).
+		for _, v := range listA {
+			qa.Push(v, sc.d[v])
 		}
-		for _, v := range *listB {
-			qb.Push(v, d[v])
+		for _, v := range listB {
+			qb.Push(v, sc.d[v])
 		}
+		sc.listA, sc.listB = listA, listB
 	}()
 
-	if !ensure(qa, listA, 0) || !ensure(qb, listB, 0) {
+	if !ensure(qa, &listA, 0) || !ensure(qb, &listB, 0) {
 		return 0, 0, 0, false
 	}
-	var h pairHeap
-	seen := map[[2]int]bool{{0, 0}: true}
-	heap.Push(&h, pairItem{0, 0, d[(*listA)[0]] + d[(*listB)[0]]})
+	h := sc.pairH[:0]
+	seen := sc.seen
+	clear(seen)
+	seen[[2]int{0, 0}] = true
+	pairPush(&h, pairItem{0, 0, sc.d[listA[0]] + sc.d[listB[0]]})
 	bestGain := int64(0)
 	found := false
-	for h.Len() > 0 {
-		top := heap.Pop(&h).(pairItem)
+	for len(h) > 0 {
+		top := pairPop(&h)
 		if found && top.key <= bestGain {
 			break // no remaining pair can beat bestGain
 		}
-		va, vb := (*listA)[top.i], (*listB)[top.j]
+		va, vb := listA[top.i], listB[top.j]
 		gnow := top.key - 2*g.EdgeWeight(va, vb)
 		if !found || gnow > bestGain {
 			found, bestGain, a, b = true, gnow, va, vb
 		}
 		// Expand the frontier.
-		if ensure(qa, listA, top.i+1) && !seen[[2]int{top.i + 1, top.j}] {
+		if ensure(qa, &listA, top.i+1) && !seen[[2]int{top.i + 1, top.j}] {
 			seen[[2]int{top.i + 1, top.j}] = true
-			heap.Push(&h, pairItem{top.i + 1, top.j, d[(*listA)[top.i+1]] + d[(*listB)[top.j]]})
+			pairPush(&h, pairItem{top.i + 1, top.j, sc.d[listA[top.i+1]] + sc.d[listB[top.j]]})
 		}
-		if ensure(qb, listB, top.j+1) && !seen[[2]int{top.i, top.j + 1}] {
+		if ensure(qb, &listB, top.j+1) && !seen[[2]int{top.i, top.j + 1}] {
 			seen[[2]int{top.i, top.j + 1}] = true
-			heap.Push(&h, pairItem{top.i, top.j + 1, d[(*listA)[top.i]] + d[(*listB)[top.j+1]]})
+			pairPush(&h, pairItem{top.i, top.j + 1, sc.d[listA[top.i]] + sc.d[listB[top.j+1]]})
 		}
 	}
+	sc.pairH = h
 	return a, b, bestGain, found
 }

@@ -5,23 +5,22 @@ import (
 	"testing"
 
 	"focus/internal/graph"
-	"focus/internal/pq"
 )
 
 // bruteBestSwap exhaustively finds the maximum-gain pair across the two
 // queues' contents.
-func bruteBestSwap(g *graph.Graph, d map[int]int64, qa, qb *pq.Max) (bestGain int64, found bool) {
+func bruteBestSwap(g *graph.Graph, sc *klScratch) (bestGain int64, found bool) {
 	var as, bs []int
-	for v := range d {
-		if qa.Contains(v) {
+	for _, v := range sc.members {
+		if sc.qa.Contains(v) {
 			as = append(as, v)
-		} else if qb.Contains(v) {
+		} else if sc.qb.Contains(v) {
 			bs = append(bs, v)
 		}
 	}
 	for _, a := range as {
 		for _, b := range bs {
-			gain := d[a] + d[b] - 2*g.EdgeWeight(a, b)
+			gain := sc.d[a] + sc.d[b] - 2*g.EdgeWeight(a, b)
 			if !found || gain > bestGain {
 				found, bestGain = true, gain
 			}
@@ -45,18 +44,17 @@ func TestSelectSwapMatchesBruteForce(t *testing.T) {
 		for v := n; v < 2*n; v++ {
 			labels[v] = 1
 		}
-		d := dValues(g, labels, 0, 1)
-		qa, qb := pq.NewMax(n), pq.NewMax(n)
-		for v, dv := range d {
+		sc := newKLScratch(2*n, 1)
+		sc.initD(g, labels, 0, 1)
+		for _, v := range sc.members {
 			if labels[v] == 0 {
-				qa.Push(v, dv)
+				sc.qa.Push(v, sc.d[v])
 			} else {
-				qb.Push(v, dv)
+				sc.qb.Push(v, sc.d[v])
 			}
 		}
-		wantGain, wantFound := bruteBestSwap(g, d, qa, qb)
-		var listA, listB []int
-		a, bNode, gotGain, gotFound := selectSwap(g, d, qa, qb, &listA, &listB)
+		wantGain, wantFound := bruteBestSwap(g, sc)
+		a, bNode, gotGain, gotFound := selectSwap(g, sc)
 		if gotFound != wantFound {
 			t.Fatalf("seed %d: found=%v want %v", seed, gotFound, wantFound)
 		}
@@ -67,14 +65,14 @@ func TestSelectSwapMatchesBruteForce(t *testing.T) {
 			t.Fatalf("seed %d: gain %d (pair %d,%d), brute force %d", seed, gotGain, a, bNode, wantGain)
 		}
 		// Queues must be restored (selectSwap pushes drained items back).
-		if qa.Len()+qb.Len() != len(d) {
-			t.Fatalf("seed %d: queues not restored: %d+%d != %d", seed, qa.Len(), qb.Len(), len(d))
+		if sc.qa.Len()+sc.qb.Len() != len(sc.members) {
+			t.Fatalf("seed %d: queues not restored: %d+%d != %d", seed, sc.qa.Len(), sc.qb.Len(), len(sc.members))
 		}
 	}
 }
 
-// TestDValues checks E - I computation directly.
-func TestDValues(t *testing.T) {
+// TestInitD checks E - I computation directly, serial vs sharded.
+func TestInitD(t *testing.T) {
 	// Triangle 0-1-2 with weights 5,7,3 plus a node 3 in another region.
 	b := graph.NewBuilder(4)
 	_ = b.AddEdge(0, 1, 5)
@@ -83,21 +81,25 @@ func TestDValues(t *testing.T) {
 	_ = b.AddEdge(2, 3, 100) // edge out of the region: ignored
 	g := b.Build()
 	labels := []int32{0, 0, 1, 9}
-	d := dValues(g, labels, 0, 1)
-	if len(d) != 3 {
-		t.Fatalf("d values for %d nodes", len(d))
+	sc := newKLScratch(4, 1)
+	sc.initD(g, labels, 0, 1)
+	if len(sc.members) != 3 {
+		t.Fatalf("d values for %d nodes", len(sc.members))
 	}
 	// Node 0: internal w(0,1)=5, external w(0,2)=3 -> D = -2.
-	if d[0] != -2 {
-		t.Errorf("D[0] = %d, want -2", d[0])
+	if sc.d[0] != -2 {
+		t.Errorf("D[0] = %d, want -2", sc.d[0])
 	}
 	// Node 1: internal 5, external 7 -> 2.
-	if d[1] != 2 {
-		t.Errorf("D[1] = %d, want 2", d[1])
+	if sc.d[1] != 2 {
+		t.Errorf("D[1] = %d, want 2", sc.d[1])
 	}
 	// Node 2: internal 0, external 7+3=10 (edge to 3 ignored) -> 10.
-	if d[2] != 10 {
-		t.Errorf("D[2] = %d, want 10", d[2])
+	if sc.d[2] != 10 {
+		t.Errorf("D[2] = %d, want 10", sc.d[2])
+	}
+	if sc.in[3] {
+		t.Error("node 3 marked in-universe")
 	}
 }
 
@@ -117,7 +119,7 @@ func TestKLPassEarlyStopBounded(t *testing.T) {
 	before := EdgeCut(g, labels)
 	opt := DefaultOptions(2)
 	opt.EarlyStop = 1
-	improved := klBisect(g, labels, 0, 1, opt)
+	improved := klBisect(g, labels, 0, 1, opt, newKLScratch(60, 1))
 	after := EdgeCut(g, labels)
 	if after != before-improved || improved < 0 {
 		t.Fatalf("before=%d after=%d improved=%d", before, after, improved)

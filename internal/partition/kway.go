@@ -12,7 +12,9 @@ import (
 // bound (no move into Pj from Pi if w(Pj) >= Balance * w(Pi)). A pass
 // stops after EarlyStop consecutive moves without improving the maximal
 // partial gain sum; moves after the maximum are undone. Passes repeat
-// until no improvement. Returns the total edge-cut improvement.
+// until no improvement. The boundary/gain scan that seeds each pass runs
+// on opt.Workers goroutines; the result is identical at any worker count.
+// Returns the total edge-cut improvement.
 func KWayRefine(g *graph.Graph, labels []int32, k int, opt Options) int64 {
 	var total int64
 	for {
@@ -33,6 +35,7 @@ func kwayPass(g *graph.Graph, labels []int32, k int, opt Options) int64 {
 	if earlyStop <= 0 {
 		earlyStop = 50
 	}
+	n := g.NumNodes()
 
 	// Balance is on partition cardinality, following the paper's literal
 	// rule ("a node will not be moved to a partition Pj from a partition
@@ -57,17 +60,54 @@ func kwayPass(g *graph.Graph, labels []int32, k int, opt Options) int64 {
 		return e - i
 	}
 
-	q := pq.NewMax(64)
-	for v := range labels {
-		isBoundary := false
-		for _, a := range g.Adj(v) {
-			if labels[a.To] != labels[v] {
-				isBoundary = true
-				break
+	// Seed the queue with every boundary node. The scan shards the node
+	// range over workers; shard results are pushed in shard order, so the
+	// queue is built by ascending node id at any worker count.
+	q := pq.NewDense(n)
+	w := opt.Workers
+	if w < 1 || n < gainParMin {
+		w = 1
+	}
+	if w == 1 {
+		for v := range labels {
+			isBoundary := false
+			for _, a := range g.Adj(v) {
+				if labels[a.To] != labels[v] {
+					isBoundary = true
+					break
+				}
+			}
+			if isBoundary {
+				q.Push(v, gainOf(v))
 			}
 		}
-		if isBoundary {
-			q.Push(v, gainOf(v))
+	} else {
+		type cand struct {
+			v    int
+			gain int64
+		}
+		shards := make([][]cand, w)
+		parDo(w, func(p int) {
+			lo, hi := splitRange(n, w, p)
+			var local []cand
+			for v := lo; v < hi; v++ {
+				isBoundary := false
+				for _, a := range g.Adj(v) {
+					if labels[a.To] != labels[v] {
+						isBoundary = true
+						break
+					}
+				}
+				if isBoundary {
+					local = append(local, cand{v, gainOf(v)})
+				}
+			}
+			shards[p] = local
+		})
+		for _, sh := range shards {
+			for _, c := range sh {
+				q.Push(c.v, c.gain)
+			}
 		}
 	}
 

@@ -1,0 +1,26 @@
+package partition
+
+import "sync"
+
+// parDo runs f(0..parts-1) on parts goroutines and waits for all.
+func parDo(parts int, f func(part int)) {
+	if parts <= 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(parts)
+	for p := 0; p < parts; p++ {
+		go func(p int) {
+			defer wg.Done()
+			f(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// splitRange returns the half-open slice [lo,hi) of n items owned by part
+// p out of parts.
+func splitRange(n, parts, p int) (lo, hi int) {
+	return n * p / parts, n * (p + 1) / parts
+}

@@ -74,13 +74,28 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 
 	levels := len(set.Levels)
 	res := &Result{K: k, LevelLabels: make([][]int32, levels)}
+	maxN := 0
 	for i, g := range set.Levels {
 		res.LevelLabels[i] = make([]int32, g.NumNodes())
+		if g.NumNodes() > maxN {
+			maxN = g.NumNodes()
+		}
 	}
+
+	// One dense scratch per in-flight region, sized for the finest level
+	// and recycled across regions and steps.
+	scratches := sync.Pool{New: func() any { return newKLScratch(maxN, 1) }}
 
 	sem := make(chan struct{}, procs)
 	for step := 0; step < steps; step++ {
 		regions := int32(1) << step
+		// Spare processors beyond the region count go to intra-task scan
+		// parallelism; the split never changes results.
+		stepOpt := opt
+		stepOpt.Workers = procs / int(regions)
+		if stepOpt.Workers < 1 {
+			stepOpt.Workers = 1
+		}
 		taskTimes := make([]time.Duration, regions)
 		var wg sync.WaitGroup
 		for r := int32(0); r < regions; r++ {
@@ -91,9 +106,12 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 				defer func() { <-sem }()
 				newLabel := r + regions
 				rng := rand.New(rand.NewSource(opt.Seed + int64(step)*1000 + int64(r)))
+				sc := scratches.Get().(*klScratch)
+				sc.workers = stepOpt.Workers
 				t0 := time.Now()
-				bisectRegion(set, res.LevelLabels, r, newLabel, opt, rng)
+				bisectRegion(set, res.LevelLabels, r, newLabel, stepOpt, rng, sc)
 				taskTimes[r] = time.Since(t0)
+				scratches.Put(sc)
 			}(r)
 		}
 		wg.Wait()
@@ -101,6 +119,11 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 	}
 
 	if !opt.SkipKWay && k > 1 {
+		kwOpt := opt
+		kwOpt.Workers = procs / levels
+		if kwOpt.Workers < 1 {
+			kwOpt.Workers = 1
+		}
 		res.KWayTimes = make([]time.Duration, len(set.Levels))
 		var wg sync.WaitGroup
 		for i := range set.Levels {
@@ -110,7 +133,7 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				t0 := time.Now()
-				KWayRefine(set.Levels[i], res.LevelLabels[i], k, opt)
+				KWayRefine(set.Levels[i], res.LevelLabels[i], k, kwOpt)
 				res.KWayTimes[i] = time.Since(t0)
 			}(i)
 		}
@@ -121,8 +144,9 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 
 // bisectRegion splits region r into labels {r, newLabel} on the coarsest
 // level and projects + refines the split down to level 0. Labels outside
-// the region are never touched, so disjoint regions can run concurrently.
-func bisectRegion(set *graph.Set, levelLabels [][]int32, r, newLabel int32, opt Options, rng *rand.Rand) {
+// the region are never touched, so disjoint regions can run concurrently;
+// sc is owned by this region for the duration of the call.
+func bisectRegion(set *graph.Set, levelLabels [][]int32, r, newLabel int32, opt Options, rng *rand.Rand, sc *klScratch) {
 	top := len(set.Levels) - 1
 	for i := top; i >= 0; i-- {
 		labels := levelLabels[i]
@@ -156,9 +180,9 @@ func bisectRegion(set *graph.Set, levelLabels [][]int32, r, newLabel int32, opt 
 			if countR < 2 {
 				continue // not splittable at this level yet
 			}
-			greedyGrow(set.Levels[i], labels, r, newLabel, opt, rng)
+			greedyGrow(set.Levels[i], labels, r, newLabel, opt, rng, sc)
 		}
-		klBisect(set.Levels[i], labels, r, newLabel, opt)
+		klBisect(set.Levels[i], labels, r, newLabel, opt, sc)
 	}
 }
 

@@ -1,0 +1,83 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDenseMirrorsMax drives Dense and Max with the same random operation
+// sequence and demands identical observable behaviour, including pop
+// order (both break ties to the smaller id).
+func TestDenseMirrorsMax(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		d := NewDense(n)
+		m := NewMax(n)
+		for op := 0; op < 2000; op++ {
+			id := rng.Intn(n)
+			switch rng.Intn(5) {
+			case 0, 1:
+				p := int64(rng.Intn(40) - 20)
+				d.Push(id, p)
+				m.Push(id, p)
+			case 2:
+				p := int64(rng.Intn(40) - 20)
+				d.Update(id, p)
+				m.Update(id, p)
+			case 3:
+				if d.Remove(id) != m.Remove(id) {
+					t.Fatalf("seed %d op %d: Remove(%d) diverged", seed, op, id)
+				}
+			case 4:
+				di, dp, dok := d.Pop()
+				mi, mp, mok := m.Pop()
+				if di != mi || dp != mp || dok != mok {
+					t.Fatalf("seed %d op %d: Pop = (%d,%d,%v) vs (%d,%d,%v)", seed, op, di, dp, dok, mi, mp, mok)
+				}
+			}
+			if d.Len() != m.Len() {
+				t.Fatalf("seed %d op %d: Len %d vs %d", seed, op, d.Len(), m.Len())
+			}
+			if d.Contains(id) != m.Contains(id) {
+				t.Fatalf("seed %d op %d: Contains(%d) diverged", seed, op, id)
+			}
+			dp, dok := d.Priority(id)
+			mp, mok := m.Priority(id)
+			if dp != mp || dok != mok {
+				t.Fatalf("seed %d op %d: Priority(%d) diverged", seed, op, id)
+			}
+		}
+		// Drain fully: pop order must match.
+		for d.Len() > 0 {
+			di, dp, _ := d.Pop()
+			mi, mp, _ := m.Pop()
+			if di != mi || dp != mp {
+				t.Fatalf("seed %d drain: (%d,%d) vs (%d,%d)", seed, di, dp, mi, mp)
+			}
+		}
+		if m.Len() != 0 {
+			t.Fatalf("seed %d: Max not drained", seed)
+		}
+	}
+}
+
+func TestDenseReset(t *testing.T) {
+	d := NewDense(8)
+	for i := 0; i < 8; i++ {
+		d.Push(i, int64(i))
+	}
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", d.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if d.Contains(i) {
+			t.Fatalf("id %d still queued after Reset", i)
+		}
+	}
+	d.Push(3, 7)
+	if id, p, ok := d.Pop(); !ok || id != 3 || p != 7 {
+		t.Fatalf("Pop after Reset = (%d,%d,%v)", id, p, ok)
+	}
+}
