@@ -27,9 +27,10 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7465", "address to listen on")
-		grace  = flag.Duration("grace", 10*time.Second, "in-flight call drain budget on SIGINT/SIGTERM")
-		health = flag.Bool("healthcheck", false, "probe the worker at -listen with a Ping RPC and exit 0 (healthy) or 1")
+		listen  = flag.String("listen", "127.0.0.1:7465", "address to listen on")
+		grace   = flag.Duration("grace", 10*time.Second, "in-flight call drain budget on SIGINT/SIGTERM")
+		health  = flag.Bool("healthcheck", false, "probe the worker at -listen with a Ping RPC and exit 0 (healthy) or 1")
+		wireBuf = flag.Int("wire-buf", 0, "per-connection buffered-IO size in bytes (0 = 64 KiB); the codec itself is negotiated per connection (binary wire handshake, gob otherwise)")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 		return
 	}
 
-	srv, err := dist.NewServer(&assembly.Service{})
+	srv, err := dist.NewServerOpts(&assembly.Service{}, dist.Options{WireBufSize: *wireBuf})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "focus-worker:", err)
 		os.Exit(1)

@@ -46,6 +46,7 @@ func main() {
 		retries   = flag.Int("rpc-retries", 0, "failover retries per task after application-level worker errors (stateless protocols only)")
 		callTO    = flag.Duration("call-timeout", 0, "per-RPC deadline; a worker exceeding it is disconnected and its task rescheduled (0 = no deadline)")
 		maxFails  = flag.Int("max-worker-failures", 0, "consecutive transport failures before a worker is permanently evicted (0 = default 3)")
+		codec     = flag.String("codec", "auto", "RPC wire codec: auto (binary, falling back to gob per worker), binary (required), or gob")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -75,6 +76,16 @@ func main() {
 	cfg.CallVariants = *variants
 	cfg.Dist.CallTimeout = *callTO
 	cfg.Dist.MaxFailures = *maxFails
+	switch *codec {
+	case "auto":
+		cfg.Dist.Codec = dist.CodecAuto
+	case "binary":
+		cfg.Dist.Codec = dist.CodecBinary
+	case "gob":
+		cfg.Dist.Codec = dist.CodecGob
+	default:
+		fatal(fmt.Errorf("focus: unknown -codec %q (auto|binary|gob)", *codec))
+	}
 
 	var pool *dist.Pool
 	if *addrs != "" {

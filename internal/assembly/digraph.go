@@ -34,6 +34,11 @@ type DiGraph struct {
 	Removed []bool
 	Out     [][]Edge
 	In      [][]Edge
+
+	// outBuf/inBuf are the reusable scratches behind liveOut/liveIn: the
+	// join and contig-build passes issue one live-neighbour query per path
+	// step, and per-call filtered allocations dominated their profiles.
+	outBuf, inBuf []Edge
 }
 
 // NumNodes returns the node count including removed nodes.
@@ -108,24 +113,30 @@ func (g *DiGraph) RemoveNode(v int32) {
 }
 
 // liveOut / liveIn return the non-containment live neighbours used by the
-// traversal rules.
+// traversal rules. The result is a view into a per-graph scratch buffer,
+// valid only until the same method's next call (separate buffers per
+// direction, so one liveOut and one liveIn result may be held together).
+// Not safe for concurrent use — the master's join/build code is
+// single-threaded.
 func (g *DiGraph) liveOut(v int32) []Edge {
-	var out []Edge
+	out := g.outBuf[:0]
 	for _, e := range g.Out[v] {
 		if !e.Contain && !g.Removed[e.To] {
 			out = append(out, e)
 		}
 	}
+	g.outBuf = out
 	return out
 }
 
 func (g *DiGraph) liveIn(v int32) []Edge {
-	var in []Edge
+	in := g.inBuf[:0]
 	for _, e := range g.In[v] {
 		if !e.Contain && !g.Removed[e.From] {
 			in = append(in, e)
 		}
 	}
+	g.inBuf = in
 	return in
 }
 

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +30,35 @@ type Driver struct {
 	localOnly    bool // degraded mode: pool unusable, phases run on the master
 	pendingNodes []int32
 	pendingEdges []EdgePair
+
+	// extractWorkers bounds the parallel subgraph-extraction fan-out (0 =
+	// GOMAXPROCS, 1 = serial; equivalence tests pin both and compare).
+	extractWorkers int
+	ext            *extractor
+
+	// Reusable partitionNodes scratch: the count and view arrays persist
+	// across phases, but the flat id backing is allocated fresh per call
+	// (one allocation per phase instead of k append-grown lists). It must
+	// NOT be reused: the partition views become Subgraph.Local in RPC
+	// args, and a timed-out call's abandoned encoder goroutine may still
+	// be reading them when the next phase (or a local fallback within the
+	// same phase) rebuilds the lists.
+	partCounts []int32
+	partView   [][]int32
+}
+
+// extractor returns the lazily-built subgraph extractor (the graph and
+// labels are fixed after NewDriver).
+func (d *Driver) extractor() *extractor {
+	if d.ext == nil {
+		d.ext = &extractor{g: d.G, labels: d.Labels}
+	}
+	return d.ext
+}
+
+// subgraphs builds every partition's wire view in parallel.
+func (d *Driver) subgraphs(parts [][]int32) []Subgraph {
+	return d.extractor().subgraphs(parts, d.extractWorkers)
 }
 
 // Degraded reports whether the driver has fallen back to local (master-
@@ -58,15 +89,17 @@ func (d *Driver) ensureLoaded() error {
 		return nil
 	}
 	d.runID = fmt.Sprintf("run%d", atomic.AddInt64(&runCounter, 1))
-	parts := d.partitionNodes()
+	subs := d.subgraphs(d.partitionNodes())
 	replies := make([]interface{}, d.K)
 	for i := range replies {
 		replies[i] = &LoadReply{}
 	}
 	// Pinned: partition t must live on worker t % Size, because later
-	// Phase calls address it by that index.
+	// Phase calls address it by that index. Subgraphs are precomputed (in
+	// parallel) above: mkArgs closures run concurrently inside the
+	// scheduler, so they must not share extraction scratch.
 	_, err := d.Pool.ParallelCallsPinned(d.K, "Load", func(t int) interface{} {
-		return &LoadArgs{RunID: d.runID, Sub: d.subgraph(int32(t), parts[t]), Cfg: d.Cfg}
+		return &LoadArgs{RunID: d.runID, Sub: subs[t], Cfg: d.Cfg}
 	}, replies)
 	if err != nil {
 		return fmt.Errorf("assembly: loading partitions: %w", err)
@@ -142,13 +175,16 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 		return results, times, nil
 	}
 
-	parts := d.partitionNodes()
+	// Extract every partition's subgraph up front (parallel fan-out): the
+	// scheduler invokes mkArgs from its per-worker runner goroutines, so
+	// extraction state must not be shared lazily through them.
+	subs := d.subgraphs(d.partitionNodes())
 	replies := make([]interface{}, d.K)
 	mk := func(t int) interface{} {
 		if phase == "Variants" {
-			return &VariantArgs{Sub: d.subgraph(int32(t), parts[t]), Cfg: vcfg}
+			return &VariantArgs{Sub: subs[t], Cfg: vcfg}
 		}
-		return &PhaseArgs{Sub: d.subgraph(int32(t), parts[t]), Cfg: d.Cfg}
+		return &PhaseArgs{Sub: subs[t], Cfg: d.Cfg}
 	}
 	for i := range replies {
 		switch phase {
@@ -206,25 +242,57 @@ func (d *Driver) fallBackStateful(phase string, err error) bool {
 
 // runPhaseLocal executes one phase of every partition on the master. The
 // master's graph always holds the current state, so local results are
-// identical to what a healthy pool would return.
+// identical to what a healthy pool would return. Partition scans fan out
+// over the same bounded pool as subgraph extraction, so degraded mode
+// keeps the workers' parallelism (each result depends only on its own
+// partition — output is identical at any worker count).
 func (d *Driver) runPhaseLocal(phase string, vcfg VariantConfig) []phaseResult {
-	parts := d.partitionNodes()
+	subs := d.subgraphs(d.partitionNodes())
 	results := make([]phaseResult, d.K)
-	for t := 0; t < d.K; t++ {
-		sub := d.subgraph(int32(t), parts[t])
+	scan := func(t int) {
+		sub := &subs[t]
 		switch phase {
 		case "Transitive":
-			results[t] = phaseResult{Edges: TransitiveEdges(&sub, d.Cfg)}
+			results[t] = phaseResult{Edges: TransitiveEdges(sub, d.Cfg)}
 		case "Containment":
-			results[t] = phaseResult{Removal: ContainmentScan(&sub, d.Cfg)}
+			results[t] = phaseResult{Removal: ContainmentScan(sub, d.Cfg)}
 		case "Errors":
-			results[t] = phaseResult{Removal: ErrorScan(&sub, d.Cfg)}
+			results[t] = phaseResult{Removal: ErrorScan(sub, d.Cfg)}
 		case "Paths":
-			results[t] = phaseResult{Paths: ExtractPaths(&sub, d.Cfg)}
+			results[t] = phaseResult{Paths: ExtractPaths(sub, d.Cfg)}
 		case "Variants":
-			results[t] = phaseResult{Variants: ScanVariants(&sub, vcfg)}
+			results[t] = phaseResult{Variants: ScanVariants(sub, vcfg)}
 		}
 	}
+	workers := d.extractWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.K {
+		workers = d.K
+	}
+	if workers <= 1 {
+		for t := 0; t < d.K; t++ {
+			scan(t)
+		}
+		return results
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(atomic.AddInt64(&next, 1))
+				if t >= d.K {
+					return
+				}
+				scan(t)
+			}
+		}()
+	}
+	wg.Wait()
 	return results
 }
 
@@ -245,55 +313,42 @@ func NewDriver(pool *dist.Pool, g *DiGraph, labels []int32, k int, cfg Config) (
 }
 
 // partitionNodes returns the live node ids of each partition (one O(n)
-// scan shared by all subgraph extractions of a phase).
+// scan shared by all subgraph extractions of a phase). Counted presize
+// into one flat backing: two scans, a single allocation per phase. The
+// backing is deliberately fresh each call — the views ship inside RPC
+// args (Subgraph.Local), and an abandoned attempt's encoder may outlive
+// the phase, so the memory must never be recycled under it.
 func (d *Driver) partitionNodes() [][]int32 {
-	out := make([][]int32, d.K)
-	for v := 0; v < d.G.NumNodes(); v++ {
+	if d.partCounts == nil {
+		d.partCounts = make([]int32, d.K)
+		d.partView = make([][]int32, d.K)
+	}
+	counts := d.partCounts
+	for i := range counts {
+		counts[i] = 0
+	}
+	n := d.G.NumNodes()
+	total := 0
+	for v := 0; v < n; v++ {
+		if !d.G.Removed[v] {
+			counts[d.Labels[v]]++
+			total++
+		}
+	}
+	buf := make([]int32, total)
+	out := d.partView
+	off := 0
+	for p := 0; p < d.K; p++ {
+		out[p] = buf[off : off : off+int(counts[p])]
+		off += int(counts[p])
+	}
+	for v := 0; v < n; v++ {
 		if !d.G.Removed[v] {
 			p := d.Labels[v]
 			out[p] = append(out[p], int32(v))
 		}
 	}
 	return out
-}
-
-// subgraph builds the wire view of one partition from the current graph.
-// Cost is proportional to the partition's closed neighbourhood, not the
-// whole graph.
-func (d *Driver) subgraph(part int32, local []int32) Subgraph {
-	sub := Subgraph{Part: part, Local: local}
-	inSet := map[int32]bool{}
-	addNode := func(id int32) {
-		if inSet[id] {
-			return
-		}
-		inSet[id] = true
-		sub.Nodes = append(sub.Nodes, WireNode{
-			ID: id, Part: d.Labels[id], Weight: d.G.Weight[id], Contig: d.G.Contigs[id],
-		})
-	}
-	for _, id := range local {
-		addNode(id)
-		for _, e := range d.G.Out[id] {
-			if !d.G.Removed[e.To] {
-				addNode(e.To)
-			}
-		}
-		for _, e := range d.G.In[id] {
-			if !d.G.Removed[e.From] {
-				addNode(e.From)
-			}
-		}
-	}
-	// All edges within the closed neighbourhood.
-	for _, n := range sub.Nodes {
-		for _, e := range d.G.Out[n.ID] {
-			if inSet[e.To] {
-				sub.Edges = append(sub.Edges, e)
-			}
-		}
-	}
-	return sub
 }
 
 // TrimStats reports what distributed trimming removed, plus the measured

@@ -1,0 +1,171 @@
+package assembly
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the master's subgraph send path: building each partition's
+// wire view (Subgraph) from the current graph. PR 4 replaced the per-call
+// map[int32]bool + append-grown slices with per-worker epoch-stamped
+// dense mark arrays and counted presizing, and fans the per-partition
+// extractions over a bounded pool. Node order is the same first-encounter
+// order the map version produced (local ids, then each local id's out-
+// then in-neighbours), so the output — and therefore the bytes on the
+// wire — is identical at any worker count.
+
+// extractScratch is one extractor worker's reusable state.
+type extractScratch struct {
+	mark  []int32 // mark[id] == epoch ⇔ id is in the current subgraph
+	epoch int32
+	ids   []int32 // first-encounter order of the current subgraph
+}
+
+// extractor builds partition subgraphs against a fixed graph, recycling
+// scratches across calls (the driver keeps one per run; the scans of a
+// phase reuse its scratches in every later phase).
+type extractor struct {
+	g      *DiGraph
+	labels []int32
+
+	mu   sync.Mutex
+	free []*extractScratch
+}
+
+func (x *extractor) get() *extractScratch {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if n := len(x.free); n > 0 {
+		sc := x.free[n-1]
+		x.free = x.free[:n-1]
+		return sc
+	}
+	return &extractScratch{mark: make([]int32, x.g.NumNodes())}
+}
+
+func (x *extractor) put(sc *extractScratch) {
+	x.mu.Lock()
+	x.free = append(x.free, sc)
+	x.mu.Unlock()
+}
+
+// subgraph builds the wire view of one partition using sc. Cost is
+// proportional to the partition's closed neighbourhood, not the graph.
+func (x *extractor) subgraph(sc *extractScratch, part int32, local []int32) Subgraph {
+	g := x.g
+	sc.epoch++
+	if sc.epoch <= 0 { // int32 wrap: re-zero and restart epochs
+		for i := range sc.mark {
+			sc.mark[i] = 0
+		}
+		sc.epoch = 1
+	}
+	epoch := sc.epoch
+	mark := sc.mark
+	ids := sc.ids[:0]
+	add := func(id int32) {
+		if mark[id] != epoch {
+			mark[id] = epoch
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range local {
+		add(id)
+		for _, e := range g.Out[id] {
+			if !g.Removed[e.To] {
+				add(e.To)
+			}
+		}
+		for _, e := range g.In[id] {
+			if !g.Removed[e.From] {
+				add(e.From)
+			}
+		}
+	}
+	sc.ids = ids
+
+	sub := Subgraph{Part: part, Local: local}
+	sub.Nodes = make([]WireNode, len(ids))
+	for i, id := range ids {
+		sub.Nodes[i] = WireNode{
+			ID: id, Part: x.labels[id], Weight: g.Weight[id], Contig: g.Contigs[id],
+		}
+	}
+	// All edges within the closed neighbourhood: count, then fill exactly.
+	nEdges := 0
+	for _, id := range ids {
+		for _, e := range g.Out[id] {
+			if mark[e.To] == epoch {
+				nEdges++
+			}
+		}
+	}
+	sub.Edges = make([]Edge, 0, nEdges)
+	for _, id := range ids {
+		for _, e := range g.Out[id] {
+			if mark[e.To] == epoch {
+				sub.Edges = append(sub.Edges, e)
+			}
+		}
+	}
+	return sub
+}
+
+// subgraphs extracts every partition's view over a bounded worker pool
+// (workers <= 0 means GOMAXPROCS). Each output index depends only on its
+// partition, so the result is identical at any worker count.
+func (x *extractor) subgraphs(parts [][]int32, workers int) []Subgraph {
+	k := len(parts)
+	out := make([]Subgraph, k)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		sc := x.get()
+		defer x.put(sc)
+		for t := range parts {
+			out[t] = x.subgraph(sc, int32(t), parts[t])
+		}
+		return out
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := x.get()
+			defer x.put(sc)
+			for {
+				t := int(atomic.AddInt64(&next, 1))
+				if t >= k {
+					return
+				}
+				out[t] = x.subgraph(sc, int32(t), parts[t])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Subgraphs extracts the wire view of all k partitions of g under labels,
+// fanning the per-partition extractions over up to workers goroutines
+// (<= 0 means GOMAXPROCS). The result is deterministic — byte-identical
+// at any worker count — and matches what the Driver ships per phase.
+// Node contigs alias g's contig storage; callers must not mutate them.
+func Subgraphs(g *DiGraph, labels []int32, k, workers int) []Subgraph {
+	x := &extractor{g: g, labels: labels}
+	parts := make([][]int32, k)
+	for v := 0; v < g.NumNodes(); v++ {
+		if !g.Removed[v] {
+			p := labels[v]
+			parts[p] = append(parts[p], int32(v))
+		}
+	}
+	return x.subgraphs(parts, workers)
+}

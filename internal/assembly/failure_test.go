@@ -148,10 +148,11 @@ func TestWorkerDiesMidSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer lis.Close()
-	// Every response write after the first hangs: the worker answers one
-	// phase, then wedges.
+	// The worker answers one phase, then wedges: the first two server
+	// writes (the wire-handshake ack and one phase response) are safe,
+	// every later response write hangs.
 	chaos := dist.NewChaosListener(lis, dist.ChaosConfig{
-		Seed: 7, FirstSafe: 1, HangProb: 1, HangFor: 30 * time.Second,
+		Seed: 7, FirstSafe: 2, HangProb: 1, HangFor: 30 * time.Second,
 	})
 	go func() { _ = dist.Serve(chaos, &Service{}) }()
 

@@ -76,6 +76,10 @@ type view struct {
 	isLocal map[int32]bool
 	out     map[int32][]Edge
 	in      map[int32][]Edge
+	// lout/lin are the precomputed non-containment subsets served by
+	// liveOut/liveIn (see liveSubsets).
+	lout map[int32][]Edge
+	lin  map[int32][]Edge
 }
 
 func newView(sub *Subgraph) *view {
@@ -100,28 +104,46 @@ func newView(sub *Subgraph) *view {
 		v.out[e.From] = append(v.out[e.From], e)
 		v.in[e.To] = append(v.in[e.To], e)
 	}
+	v.lout = liveSubsets(v.out)
+	v.lin = liveSubsets(v.in)
 	return v
 }
 
-func (v *view) liveOut(id int32) []Edge {
-	var r []Edge
-	for _, e := range v.out[id] {
-		if !e.Contain {
-			r = append(r, e)
+// liveSubsets precomputes each node's non-containment edges. The scans
+// issue many live-neighbour queries per node (path walks, bubble probes),
+// so filtering once at view build replaces a per-query filtered
+// allocation. Lists without containment edges — the common case — share
+// the unfiltered slice.
+func liveSubsets(adj map[int32][]Edge) map[int32][]Edge {
+	live := make(map[int32][]Edge, len(adj))
+	for id, es := range adj {
+		contains := 0
+		for i := range es {
+			if es[i].Contain {
+				contains++
+			}
 		}
+		if contains == 0 {
+			live[id] = es
+			continue
+		}
+		if contains == len(es) {
+			continue // all containment: live list empty, map miss returns nil
+		}
+		r := make([]Edge, 0, len(es)-contains)
+		for _, e := range es {
+			if !e.Contain {
+				r = append(r, e)
+			}
+		}
+		live[id] = r
 	}
-	return r
+	return live
 }
 
-func (v *view) liveIn(id int32) []Edge {
-	var r []Edge
-	for _, e := range v.in[id] {
-		if !e.Contain {
-			r = append(r, e)
-		}
-	}
-	return r
-}
+func (v *view) liveOut(id int32) []Edge { return v.lout[id] }
+
+func (v *view) liveIn(id int32) []Edge { return v.lin[id] }
 
 // TransitiveEdges finds edges of local nodes that are transitive
 // (paper §V.A, after Myers' string graph construction): v->x is removable

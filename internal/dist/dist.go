@@ -46,8 +46,25 @@ var (
 	ErrNoWorkers = errors.New("dist: no healthy workers")
 )
 
-// Options configure the pool's fault tolerance. The zero value disables
-// deadlines and uses the default health thresholds.
+// Codec selects the wire encoding of a pool's RPC connections.
+type Codec uint8
+
+const (
+	// CodecAuto opens every connection with the binary wire handshake and
+	// falls back to gob when the peer does not answer it (an old worker
+	// build). The fallback is sticky per worker, so reconnects skip the
+	// probe. This is the default.
+	CodecAuto Codec = iota
+	// CodecBinary requires the binary wire protocol; a failed handshake is
+	// a connect error.
+	CodecBinary
+	// CodecGob forces net/rpc's stock gob codec.
+	CodecGob
+)
+
+// Options configure the pool's fault tolerance and wire protocol. The
+// zero value disables deadlines, uses the default health thresholds, and
+// negotiates the binary codec with gob fallback.
 type Options struct {
 	// CallTimeout is the per-call deadline; 0 disables deadlines
 	// (net/rpc's native behaviour: a hung worker blocks forever).
@@ -67,6 +84,24 @@ type Options struct {
 	Seed int64
 	// Logf receives eviction/reconnect warnings; nil means log.Printf.
 	Logf func(format string, args ...interface{})
+
+	// Codec selects the wire encoding (see the Codec constants). The zero
+	// value negotiates the binary protocol with gob fallback.
+	Codec Codec
+	// HandshakeTimeout bounds the binary-codec handshake in CodecAuto and
+	// CodecBinary modes. 0 means CallTimeout when that is set and shorter
+	// than the dial timeout, else the dial timeout. An old gob-only worker
+	// never answers the handshake (it blocks mid-message), so in CodecAuto
+	// mode this timeout is what triggers the gob fallback.
+	HandshakeTimeout time.Duration
+	// WireBufSize sizes the per-connection buffered reader and, on the
+	// server, the pooled bufio.Writer of the gob codec. 0 means 64 KiB.
+	WireBufSize int
+	// WrapConn, if set, wraps the server side of every in-process worker
+	// connection (keyed by worker id). Benchmarks use it to count the
+	// bytes a codec actually puts on the wire. It composes with the chaos
+	// transport: WrapConn is applied first, chaos outermost.
+	WrapConn func(worker int, conn net.Conn) net.Conn
 }
 
 // DefaultOptions returns the default fault-tolerance parameters. Deadlines
@@ -96,18 +131,38 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// wireBufSize returns the effective buffered-IO size.
+func (o Options) wireBufSize() int {
+	if o.WireBufSize > 0 {
+		return o.WireBufSize
+	}
+	return 64 << 10
+}
+
+// handshakeTimeout returns the effective binary-handshake deadline.
+func (o Options) handshakeTimeout() time.Duration {
+	if o.HandshakeTimeout > 0 {
+		return o.HandshakeTimeout
+	}
+	if o.CallTimeout > 0 && o.CallTimeout < dialTimeout {
+		return o.CallTimeout
+	}
+	return dialTimeout
+}
+
 // worker is one pool slot: its connection plus health state. The slot
 // survives connection loss — the client is replaced by the reconnect loop.
 type worker struct {
 	id         int
-	addr       string              // TCP address; "" for in-process workers
-	newService func() interface{}  // in-process service factory (revival)
+	addr       string                  // TCP address; "" for in-process workers
+	newService func() interface{}      // in-process service factory (revival)
 	wrap       func(net.Conn) net.Conn // optional chaos wrapper for the server conn
 
 	mu      sync.Mutex
 	client  *rpc.Client
 	fails   int  // consecutive transport failures
 	evicted bool // permanently out of the schedulable set
+	gobOnly bool // sticky CodecAuto downgrade: peer failed the wire handshake
 }
 
 // Pool is a set of workers addressed by index. Worker slots are fixed at
@@ -163,7 +218,7 @@ func NewLocalChaosPool(n int, newService func() interface{}, opt Options, chaos 
 				w.wrap = func(conn net.Conn) net.Conn { return WrapChaos(conn, c) }
 			}
 		}
-		client, err := connectLocal(w)
+		client, err := p.connectWorker(w)
 		if err != nil {
 			p.Close()
 			return nil, err
@@ -174,19 +229,63 @@ func NewLocalChaosPool(n int, newService func() interface{}, opt Options, chaos 
 	return p, nil
 }
 
-// connectLocal builds a fresh pipe-connected service instance for w.
-func connectLocal(w *worker) (*rpc.Client, error) {
+// dialConn opens a raw transport to w: TCP for remote workers, a pipe to
+// a freshly served in-process service instance otherwise. The in-process
+// server sniffs the codec exactly like a TCP focus-worker does.
+func (p *Pool) dialConn(w *worker) (net.Conn, error) {
+	if w.addr != "" {
+		return net.DialTimeout("tcp", w.addr, dialTimeout)
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(ServiceName, w.newService()); err != nil {
 		return nil, fmt.Errorf("dist: register: %w", err)
 	}
 	cliConn, srvConn := net.Pipe()
 	var sc net.Conn = srvConn
-	if w.wrap != nil {
-		sc = w.wrap(srvConn)
+	if p.opt.WrapConn != nil {
+		sc = p.opt.WrapConn(w.id, sc)
 	}
-	go srv.ServeConn(sc)
-	return rpc.NewClient(cliConn), nil
+	if w.wrap != nil {
+		sc = w.wrap(sc)
+	}
+	go serveConnSniff(srv, sc, p.opt.wireBufSize(), nil)
+	return cliConn, nil
+}
+
+// connectWorker establishes w's connection with the configured codec: the
+// binary wire handshake by default, downgrading (stickily) to gob when
+// the peer does not complete it in CodecAuto mode.
+func (p *Pool) connectWorker(w *worker) (*rpc.Client, error) {
+	codec := p.opt.Codec
+	w.mu.Lock()
+	if codec == CodecAuto && w.gobOnly {
+		codec = CodecGob
+	}
+	w.mu.Unlock()
+	conn, err := p.dialConn(w)
+	if err != nil {
+		return nil, err
+	}
+	if codec == CodecGob {
+		return rpc.NewClient(conn), nil
+	}
+	cc, herr := newWireClientCodec(conn, p.opt.wireBufSize(), p.opt.handshakeTimeout())
+	if herr == nil {
+		return rpc.NewClientWithCodec(cc), nil
+	}
+	conn.Close()
+	if codec == CodecBinary {
+		return nil, fmt.Errorf("dist: worker %d: %w", w.id, herr)
+	}
+	p.opt.Logf("dist: worker %d: wire handshake failed (%v); falling back to gob", w.id, herr)
+	w.mu.Lock()
+	w.gobOnly = true
+	w.mu.Unlock()
+	conn, err = p.dialConn(w)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(conn), nil
 }
 
 // DialPool connects to already-running TCP workers.
@@ -201,22 +300,16 @@ func DialPoolOpts(addrs []string, opt Options) (*Pool, error) {
 	}
 	p := newPool(opt)
 	for i, addr := range addrs {
-		client, err := dialWorker(addr)
+		w := &worker{id: i, addr: addr}
+		client, err := p.connectWorker(w)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 		}
-		p.workers = append(p.workers, &worker{id: i, addr: addr, client: client})
+		w.client = client
+		p.workers = append(p.workers, w)
 	}
 	return p, nil
-}
-
-func dialWorker(addr string) (*rpc.Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return nil, err
-	}
-	return rpc.NewClient(conn), nil
 }
 
 // Size returns the number of worker slots (healthy or not).
@@ -395,13 +488,7 @@ func (p *Pool) reconnectLoop(w *worker) {
 }
 
 func (p *Pool) reconnect(w *worker) (*rpc.Client, error) {
-	var client *rpc.Client
-	var err error
-	if w.addr != "" {
-		client, err = dialWorker(w.addr)
-	} else {
-		client, err = connectLocal(w)
-	}
+	client, err := p.connectWorker(w)
 	if err != nil {
 		return nil, err
 	}

@@ -22,7 +22,7 @@ type seedHit struct {
 // TestIndexingEquivalence).
 type refIndex interface {
 	numReads() int
-	readID(local int32) int32  // global read id
+	readID(local int32) int32 // global read id
 	readSeq(local int32) []byte
 	// seedHits returns every occurrence of km in the subset. When
 	// maxOccur > 0 and the k-mer occurs more often than that, it returns

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark artifacts (BENCH_graph.json,
+# BENCH_wire.json) and runs the package micro-benchmarks, with a
+# vet+gofmt guard in front so numbers are never published from a tree
+# that wouldn't pass review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== guard: go vet =="
+go vet ./...
+
+echo "== guard: gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== graphbench (BENCH_graph.json) =="
+go run ./cmd/focus-bench -exp graphbench
+
+echo "== wirebench (BENCH_wire.json) =="
+go run ./cmd/focus-bench -exp wirebench
+
+echo "== package micro-benchmarks =="
+go test -run xxx -bench 'Pack|Unpack' -benchtime 200ms ./internal/dna/
+go test -run xxx -bench 'LiveNeighbourQueries|SubgraphExtract' -benchtime 200ms ./internal/assembly/
+
+echo "ok"
