@@ -31,6 +31,7 @@ func main() {
 		grace   = flag.Duration("grace", 10*time.Second, "in-flight call drain budget on SIGINT/SIGTERM")
 		health  = flag.Bool("healthcheck", false, "probe the worker at -listen with a Ping RPC and exit 0 (healthy) or 1")
 		wireBuf = flag.Int("wire-buf", 0, "per-connection buffered-IO size in bytes (0 = 64 KiB); the codec itself is negotiated per connection (binary wire handshake, gob otherwise)")
+		runTTL  = flag.Duration("run-ttl", 0, "drop stored stateful partitions not touched for this long (a crashed master's state; 0 = keep forever)")
 	)
 	flag.Parse()
 
@@ -43,10 +44,18 @@ func main() {
 		return
 	}
 
-	srv, err := dist.NewServerOpts(&assembly.Service{}, dist.Options{WireBufSize: *wireBuf})
+	svc := &assembly.Service{}
+	srv, err := dist.NewServerOpts(svc, dist.Options{WireBufSize: *wireBuf})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "focus-worker:", err)
 		os.Exit(1)
+	}
+	if *runTTL > 0 {
+		// Reclaim partitions orphaned by a master that died and resumed
+		// under a new run id (or never came back at all).
+		ttlStop := make(chan struct{})
+		defer close(ttlStop)
+		svc.StartRunTTL(*runTTL, ttlStop)
 	}
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -2,9 +2,12 @@ package focus
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"focus/internal/assembly"
+	"focus/internal/checkpoint"
 	"focus/internal/dist"
 )
 
@@ -77,6 +80,85 @@ func TestStatefulProtocolThroughFacade(t *testing.T) {
 		if !bytes.Equal(a.Contigs[i], b.Contigs[i]) {
 			t.Fatalf("contig %d differs between protocols", i)
 		}
+	}
+}
+
+// TestCheckpointResumeThroughFacade is the kill-master integration test:
+// a checkpointed run is "killed" by discarding its newest checkpoint (so
+// the directory holds only the state after two of three phases), then a
+// fresh master resumes with -resume semantics and must emit contigs
+// byte-identical to an uninterrupted run.
+func TestCheckpointResumeThroughFacade(t *testing.T) {
+	reads, _ := simReads(t, 3500, 7, 304)
+	dir := t.TempDir()
+
+	runPool := func(s *Stages, k int) *AssemblyResult {
+		t.Helper()
+		pool, err := dist.NewLocalPool(2, assembly.NewService)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		res, err := s.Assemble(pool, k, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Baseline: uninterrupted, no checkpointing.
+	base, err := BuildStages(reads, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runPool(base, 2)
+
+	// Checkpointed run. It completes, leaving one checkpoint per phase
+	// boundary; deleting the last reproduces the on-disk state of a
+	// master killed between the second and third phases.
+	cfg := testConfig()
+	cfg.Checkpoint = Checkpoint{Dir: dir}
+	ckRun, err := BuildStages(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPool(ckRun, 2)
+	if err := os.Remove(filepath.Join(dir, checkpoint.Name(3))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume in a fresh process image. The partitioning (and k itself)
+	// must come from the checkpoint: pass a wrong k to prove it.
+	cfg.Checkpoint.Resume = true
+	resumed, err := BuildStages(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runPool(resumed, 8)
+
+	if len(got.Contigs) != len(want.Contigs) {
+		t.Fatalf("contigs after resume: %d, want %d", len(got.Contigs), len(want.Contigs))
+	}
+	for i := range want.Contigs {
+		if !bytes.Equal(got.Contigs[i], want.Contigs[i]) {
+			t.Fatalf("contig %d differs after resume", i)
+		}
+	}
+	if got.Trim.TransitiveEdges != want.Trim.TransitiveEdges ||
+		got.Trim.ContainedNodes != want.Trim.ContainedNodes ||
+		got.Trim.FalseEdges != want.Trim.FalseEdges ||
+		got.Trim.DeadEndNodes != want.Trim.DeadEndNodes {
+		t.Fatalf("trim counters after resume: %+v, want %+v", got.Trim, want.Trim)
+	}
+
+	// Resume with an empty directory is a fresh run, not an error.
+	cfg.Checkpoint = Checkpoint{Dir: t.TempDir(), Resume: true}
+	fresh, err := BuildStages(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := runPool(fresh, 2); len(res.Contigs) != len(want.Contigs) {
+		t.Fatalf("fresh -resume run: %d contigs, want %d", len(res.Contigs), len(want.Contigs))
 	}
 }
 

@@ -19,10 +19,12 @@
 package focus
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"focus/internal/assembly"
+	"focus/internal/checkpoint"
 	"focus/internal/coarsen"
 	"focus/internal/dist"
 	"focus/internal/dna"
@@ -81,6 +83,26 @@ type Config struct {
 	// pipeline creates itself (Assemble). The zero value disables
 	// deadlines.
 	Dist dist.Options
+	// Checkpoint configures crash-safe phase-boundary checkpointing of
+	// the distributed assembly phases. The zero value disables it.
+	Checkpoint Checkpoint
+}
+
+// Checkpoint configures durable assembly state: with Dir set, the master
+// serializes its graph, removal journal and phase counters into an
+// atomic, CRC-framed checkpoint file after phase boundaries; with Resume
+// also set, Stages.Assemble restarts from the newest valid checkpoint in
+// Dir (skipping the phases it records) instead of rebuilding the
+// assembly graph, and produces output identical to an uninterrupted run.
+type Checkpoint struct {
+	// Dir receives checkpoint files; empty disables checkpointing.
+	Dir string
+	// Every writes a checkpoint at every Nth phase boundary (<= 1: all).
+	Every int
+	// Resume restarts from the newest valid checkpoint in Dir. When Dir
+	// holds no checkpoint at all the run starts fresh; when it holds only
+	// corrupt ones the run fails loudly rather than silently restarting.
+	Resume bool
 }
 
 // Variant is a distributed variant call (re-exported).
@@ -351,27 +373,57 @@ func (r *AssemblyResult) SimTraverseTime(w int) time.Duration {
 // the given worker pool with k partitions, and constructs contigs.
 // The hybrid graph is rebuilt (not reused) so Assemble can be called
 // repeatedly with different k on the same Stages.
+//
+// With Config.Checkpoint.Resume set, the assembly graph, partitioning and
+// already-completed phases are restored from the newest valid checkpoint
+// in Config.Checkpoint.Dir instead of being recomputed; the remaining
+// phases run normally and the final output matches an uninterrupted run.
 func (s *Stages) Assemble(pool *dist.Pool, k, procs int, seed int64) (*AssemblyResult, error) {
-	dg, err := assembly.BuildDiGraph(s.Hyb, s.Records)
-	if err != nil {
-		return nil, fmt.Errorf("focus: digraph: %w", err)
-	}
+	var driver *assembly.Driver
 	var labels []int32
-	if k == 1 {
-		labels = make([]int32, dg.NumNodes())
-	} else {
-		res, _, err := s.PartitionHybrid(k, procs, seed)
-		if err != nil {
-			return nil, fmt.Errorf("focus: partition: %w", err)
+	ck := s.Cfg.Checkpoint
+	if ck.Resume && ck.Dir != "" {
+		cs, err := assembly.LoadLatestCheckpoint(ck.Dir)
+		switch {
+		case err == nil:
+			driver, err = assembly.ResumeDriver(pool, cs, s.Cfg.Assembly)
+			if err != nil {
+				return nil, err
+			}
+			labels = cs.Labels
+			k = cs.K
+		case errors.Is(err, checkpoint.ErrNone):
+			// Nothing to resume yet: fall through to a fresh run (the
+			// normal first invocation with -resume always on).
+		default:
+			return nil, fmt.Errorf("focus: resume: %w", err)
 		}
-		labels = res.Labels()
 	}
-	driver, err := assembly.NewDriver(pool, dg, labels, k, s.Cfg.Assembly)
-	if err != nil {
-		return nil, err
+	if driver == nil {
+		dg, err := assembly.BuildDiGraph(s.Hyb, s.Records)
+		if err != nil {
+			return nil, fmt.Errorf("focus: digraph: %w", err)
+		}
+		if k == 1 {
+			labels = make([]int32, dg.NumNodes())
+		} else {
+			res, _, err := s.PartitionHybrid(k, procs, seed)
+			if err != nil {
+				return nil, fmt.Errorf("focus: partition: %w", err)
+			}
+			labels = res.Labels()
+		}
+		driver, err = assembly.NewDriver(pool, dg, labels, k, s.Cfg.Assembly)
+		if err != nil {
+			return nil, err
+		}
 	}
 	defer driver.Close() // releases worker-side state in stateful mode
+	if ck.Dir != "" {
+		driver.EnableCheckpoint(assembly.CheckpointConfig{Dir: ck.Dir, Every: ck.Every})
+	}
 	out := &AssemblyResult{Labels: labels}
+	var err error
 	t0 := time.Now()
 	if s.Cfg.CallVariants {
 		// Variants are read off the graph right after transitive

@@ -1,0 +1,232 @@
+package assembly
+
+import (
+	"fmt"
+	"log"
+
+	"focus/internal/checkpoint"
+	"focus/internal/dist"
+)
+
+// Phase-boundary checkpointing (DESIGN.md §11): after each graph-mutating
+// phase is applied to the master's authoritative DiGraph, the driver can
+// serialize the full master state — graph, partition labels, the removal
+// journal not yet shipped as a stateful delta, the completed-phase list,
+// and the accumulated trim counters/variants — into an atomic, CRC-framed
+// checkpoint file (internal/checkpoint). A killed master restarts with
+// -resume: the newest valid checkpoint is loaded, completed phases are
+// skipped (their counters replayed from the checkpoint), and the run
+// continues with identical final output. The payload uses the same
+// hand-written Wire encodings as the RPC protocol.
+
+// CheckpointVersion is the payload schema version; bump on any encoding
+// change so old files fail loudly instead of decoding garbage.
+const CheckpointVersion = 1
+
+// CheckpointState is the master's durable state at one phase boundary.
+type CheckpointState struct {
+	Done     []string  // completed graph-mutating phases, in order
+	Stats    TrimStats // accumulated counters (task times are not persisted)
+	Variants []Variant // accumulated variant calls, if any
+	// The removal journal: removals applied to the master graph but not
+	// yet shipped to stateful workers as a delta. (Resume reloads full
+	// partitions, so the journal is informational there, but it keeps the
+	// checkpoint a complete image of the driver state.)
+	JournalNodes []int32
+	JournalEdges []EdgePair
+	K            int
+	Labels       []int32
+	Graph        *DiGraph
+}
+
+var _ dist.Wire = (*CheckpointState)(nil)
+
+// AppendTo implements dist.Wire for the checkpoint payload.
+func (cs *CheckpointState) AppendTo(dst []byte) []byte {
+	dst = dist.AppendVarint(dst, int64(cs.K))
+	dst = dist.AppendLen(dst, len(cs.Done), cs.Done != nil)
+	for _, s := range cs.Done {
+		dst = dist.AppendString(dst, s)
+	}
+	dst = dist.AppendVarint(dst, int64(cs.Stats.TransitiveEdges))
+	dst = dist.AppendVarint(dst, int64(cs.Stats.ContainedNodes))
+	dst = dist.AppendVarint(dst, int64(cs.Stats.FalseEdges))
+	dst = dist.AppendVarint(dst, int64(cs.Stats.DeadEndNodes))
+	dst = appendVariants(dst, cs.Variants)
+	dst = dist.AppendInt32sDelta(dst, cs.JournalNodes)
+	dst = appendEdgePairs(dst, cs.JournalEdges)
+	dst = dist.AppendInt32sDelta(dst, cs.Labels)
+	g := cs.Graph
+	n := g.NumNodes()
+	dst = dist.AppendVarint(dst, int64(n))
+	// Removed flags as a bitset.
+	for i := 0; i < n; i += 8 {
+		var b byte
+		for j := 0; j < 8 && i+j < n; j++ {
+			if g.Removed[i+j] {
+				b |= 1 << j
+			}
+		}
+		dst = append(dst, b)
+	}
+	for v := 0; v < n; v++ {
+		dst = dist.AppendVarint(dst, g.Weight[v])
+		dst = dist.AppendBool(dst, g.Contigs[v] != nil)
+		dst = appendContig(dst, g.Contigs[v])
+		dst = appendEdges(dst, g.Out[v])
+	}
+	return dst
+}
+
+// DecodeFrom implements dist.Wire. The In adjacency is rebuilt from Out:
+// fresh construction sorts In[w] by From ascending and removals preserve
+// relative order, so appending while scanning Out in ascending node order
+// reproduces the pre-checkpoint In lists exactly.
+func (cs *CheckpointState) DecodeFrom(src []byte) error {
+	rd := dist.NewWireReader(src)
+	cs.K = int(rd.Varint())
+	nd, present := rd.Len()
+	cs.Done = nil
+	if present {
+		cs.Done = make([]string, 0, boundLen(&rd, nd))
+		for i := 0; i < nd && rd.Err() == nil; i++ {
+			cs.Done = append(cs.Done, rd.String())
+		}
+	}
+	cs.Stats = TrimStats{
+		TransitiveEdges: int(rd.Varint()),
+		ContainedNodes:  int(rd.Varint()),
+		FalseEdges:      int(rd.Varint()),
+		DeadEndNodes:    int(rd.Varint()),
+	}
+	cs.Variants = decodeVariants(&rd)
+	cs.JournalNodes = rd.Int32sDelta()
+	cs.JournalEdges = decodeEdgePairs(&rd)
+	cs.Labels = rd.Int32sDelta()
+	n := boundLen(&rd, int(rd.Varint()))
+	g := &DiGraph{
+		Contigs: make([][]byte, n),
+		Weight:  make([]int64, n),
+		Removed: make([]bool, n),
+		Out:     make([][]Edge, n),
+		In:      make([][]Edge, n),
+	}
+	bits := rd.Bytes((n + 7) / 8)
+	for v := 0; v < n && rd.Err() == nil; v++ {
+		g.Removed[v] = bits[v/8]&(1<<(v%8)) != 0
+		g.Weight[v] = rd.Varint()
+		g.Contigs[v] = decodeContig(&rd, rd.Bool())
+		g.Out[v] = decodeEdges(&rd)
+	}
+	if err := rd.Finish(); err != nil {
+		cs.Graph = nil
+		return err
+	}
+	for v := range g.Out {
+		for _, e := range g.Out[v] {
+			g.In[e.To] = append(g.In[e.To], e)
+		}
+	}
+	cs.Graph = g
+	return nil
+}
+
+// CheckpointConfig configures the driver's phase-boundary checkpointing.
+type CheckpointConfig struct {
+	// Dir receives the checkpoint files (created if missing).
+	Dir string
+	// Every writes a checkpoint at every Nth completed phase boundary;
+	// <= 1 means every boundary.
+	Every int
+}
+
+// EnableCheckpoint turns on checkpointing at phase boundaries. Call
+// before the first Trim phase.
+func (d *Driver) EnableCheckpoint(cc CheckpointConfig) {
+	if cc.Every <= 1 {
+		cc.Every = 1
+	}
+	d.ckpt = &cc
+}
+
+// notePhase records a completed graph-mutating phase and writes a
+// checkpoint when one is due. A checkpoint that cannot be written is an
+// error — the caller asked for durability; silently dropping it would
+// turn a crash into a full re-run.
+func (d *Driver) notePhase(name string) error {
+	d.donePhases = append(d.donePhases, name)
+	if d.ckpt == nil || len(d.donePhases)%d.ckpt.Every != 0 {
+		return nil
+	}
+	cs := &CheckpointState{
+		Done:         d.donePhases,
+		Stats:        d.statsMirror,
+		Variants:     d.variantsMirror,
+		JournalNodes: d.pendingNodes,
+		JournalEdges: d.pendingEdges,
+		K:            d.K,
+		Labels:       d.Labels,
+		Graph:        d.G,
+	}
+	seq := len(d.donePhases)
+	if err := checkpoint.Write(d.ckpt.Dir, seq, CheckpointVersion, cs.AppendTo(nil)); err != nil {
+		return fmt.Errorf("assembly: checkpoint after %s: %w", name, err)
+	}
+	return nil
+}
+
+// skipDone consumes a resume marker: true means the named phase completed
+// before the checkpoint this driver resumed from and must be skipped.
+func (d *Driver) skipDone(name string) bool {
+	if !d.resumeDone[name] {
+		return false
+	}
+	delete(d.resumeDone, name)
+	return true
+}
+
+// LoadLatestCheckpoint loads and decodes the newest valid checkpoint in
+// dir. Corrupt or truncated files are skipped with a logged warning (the
+// next-older valid one is used); checkpoint.ErrNone means a fresh start,
+// an ErrCorrupt-wrapping error means files exist but none can be trusted.
+func LoadLatestCheckpoint(dir string) (*CheckpointState, error) {
+	payload, seq, skipped, err := checkpoint.Latest(dir, CheckpointVersion)
+	for _, s := range skipped {
+		log.Printf("assembly: skipping unusable checkpoint: %v", s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cs CheckpointState
+	if derr := cs.DecodeFrom(payload); derr != nil {
+		return nil, fmt.Errorf("assembly: checkpoint %s (seq %d): payload decode: %w", dir, seq, derr)
+	}
+	log.Printf("assembly: resuming from checkpoint seq %d (%d phase(s) done: %v)", seq, len(cs.Done), cs.Done)
+	return &cs, nil
+}
+
+// ResumeDriver reconstructs a driver from checkpointed state: the master
+// graph, labels and counters come from the checkpoint, completed phases
+// will be skipped (their counters replayed), and the remaining phases run
+// normally — on the pool when one is given, locally otherwise. The final
+// output is identical to an uninterrupted run.
+func ResumeDriver(pool *dist.Pool, cs *CheckpointState, cfg Config) (*Driver, error) {
+	if cs.Graph == nil {
+		return nil, fmt.Errorf("assembly: resume: checkpoint has no graph")
+	}
+	d, err := NewDriver(pool, cs.Graph, cs.Labels, cs.K, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("assembly: resume: %w", err)
+	}
+	d.donePhases = append([]string(nil), cs.Done...)
+	d.resumeDone = make(map[string]bool, len(cs.Done))
+	for _, name := range cs.Done {
+		d.resumeDone[name] = true
+	}
+	d.statsMirror = cs.Stats
+	d.variantsMirror = append([]Variant(nil), cs.Variants...)
+	// The journal is only meaningful against worker state that died with
+	// the old master; a resumed run reloads full partitions, which clears
+	// pending deltas in ensureLoaded.
+	return d, nil
+}

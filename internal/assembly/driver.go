@@ -28,8 +28,30 @@ type Driver struct {
 	runID        string
 	loaded       bool
 	localOnly    bool // degraded mode: pool unusable, phases run on the master
+	degradeRsn   DegradeReason
 	pendingNodes []int32
 	pendingEdges []EdgePair
+
+	// Stateful placement state (DESIGN.md §11). placement[t] is the worker
+	// currently hosting partition t (-1 = homeless, needs a re-host before
+	// the next phase); partEpoch[t] is the generation stamp of that copy.
+	// epochGen is a driver-global counter: every Load *attempt* draws a
+	// strictly larger epoch, so state stored by an abandoned (timed-out)
+	// Load can never collide with a later legitimate generation.
+	placement     []int
+	partEpoch     []int64
+	epochGen      int64
+	rebalanceFlag int32 // set by the pool's reconnect hook, drained at phase start
+
+	// Checkpoint/resume state (ckpt.go). donePhases lists completed
+	// graph-mutating phases; statsMirror/variantsMirror mirror the
+	// caller-owned accumulators so checkpoints are self-contained;
+	// resumeDone marks phases to skip after ResumeDriver.
+	ckpt           *CheckpointConfig
+	donePhases     []string
+	resumeDone     map[string]bool
+	statsMirror    TrimStats
+	variantsMirror []Variant
 
 	// extractWorkers bounds the parallel subgraph-extraction fan-out (0 =
 	// GOMAXPROCS, 1 = serial; equivalence tests pin both and compare).
@@ -61,9 +83,43 @@ func (d *Driver) subgraphs(parts [][]int32) []Subgraph {
 	return d.extractor().subgraphs(parts, d.extractWorkers)
 }
 
-// Degraded reports whether the driver has fallen back to local (master-
-// side) phase execution because the worker pool became unusable.
+// DegradeReason explains why a driver is running phases locally instead
+// of on the worker pool.
+type DegradeReason int
+
+const (
+	// DegradeNone: not degraded — phases run on the worker pool.
+	DegradeNone DegradeReason = iota
+	// DegradeNoPool: degraded by choice — the driver was constructed
+	// without a pool, so local execution is the configuration, not a
+	// failure.
+	DegradeNoPool
+	// DegradeFailure: degraded by failure — the pool became unusable
+	// mid-run (every worker lost, or re-hosting could not converge) and
+	// the driver fell back to the master as the terminal safety net.
+	DegradeFailure
+)
+
+func (r DegradeReason) String() string {
+	switch r {
+	case DegradeNone:
+		return "not degraded"
+	case DegradeNoPool:
+		return "degraded by choice (no pool)"
+	case DegradeFailure:
+		return "degraded by failure (pool unusable)"
+	}
+	return fmt.Sprintf("DegradeReason(%d)", int(r))
+}
+
+// Degraded reports whether the driver runs phases locally (master-side)
+// instead of on the worker pool.
 func (d *Driver) Degraded() bool { return d.localOnly }
+
+// DegradeReason reports why: DegradeNone while the pool is in use,
+// DegradeNoPool when the driver was built without a pool, DegradeFailure
+// when the pool became unusable mid-run.
+func (d *Driver) DegradeReason() DegradeReason { return d.degradeRsn }
 
 var runCounter int64
 
@@ -83,25 +139,23 @@ func (d *Driver) removeNode(v int32) {
 	}
 }
 
-// ensureLoaded ships every partition to its worker once (stateful mode).
+// ensureLoaded ships every partition to a worker once (stateful mode),
+// establishing the initial placement table. Placement goes through the
+// same least-loaded assignment re-hosting uses; with all workers healthy
+// it reduces to the classic round-robin t % Size() map.
 func (d *Driver) ensureLoaded() error {
 	if d.loaded {
 		return nil
 	}
 	d.runID = fmt.Sprintf("run%d", atomic.AddInt64(&runCounter, 1))
-	subs := d.subgraphs(d.partitionNodes())
-	replies := make([]interface{}, d.K)
-	for i := range replies {
-		replies[i] = &LoadReply{}
+	d.placement = make([]int, d.K)
+	d.partEpoch = make([]int64, d.K)
+	all := make([]int, d.K)
+	for t := 0; t < d.K; t++ {
+		d.placement[t] = -1
+		all[t] = t
 	}
-	// Pinned: partition t must live on worker t % Size, because later
-	// Phase calls address it by that index. Subgraphs are precomputed (in
-	// parallel) above: mkArgs closures run concurrently inside the
-	// scheduler, so they must not share extraction scratch.
-	_, err := d.Pool.ParallelCallsPinned(d.K, "Load", func(t int) interface{} {
-		return &LoadArgs{RunID: d.runID, Sub: subs[t], Cfg: d.Cfg}
-	}, replies)
-	if err != nil {
+	if err := d.rehostParts(all, false); err != nil {
 		return fmt.Errorf("assembly: loading partitions: %w", err)
 	}
 	// The shipped subgraphs reflect the current graph: nothing pending.
@@ -110,8 +164,167 @@ func (d *Driver) ensureLoaded() error {
 	return nil
 }
 
-// Close releases worker-side state of a stateful run (no-op otherwise).
+// maxRounds bounds the re-host retry loops: each round either makes
+// progress or evicts a worker (the pool's MaxFailures), so a bound
+// proportional to the pool size is enough for any reachable schedule.
+func (d *Driver) maxRounds() int { return 2*d.Pool.Size() + 3 }
+
+// rehostParts places every listed partition on a healthy worker: the
+// partition's subgraph is rebuilt from the master's authoritative graph
+// (which already reflects every applied removal, so the rebuilt copy
+// equals the lost copy plus any outstanding delta) and Loaded at a
+// freshly drawn epoch. Assignment is least-loaded-first over the healthy
+// workers, counting only partitions that keep their current home, so a
+// freshly reconnected (empty) worker naturally absorbs the moves.
+// Placement and epoch are committed per partition only on Load success;
+// a failed Load leaves the previous placement intact (still valid when
+// the move was elective, retried when the home was lost).
+func (d *Driver) rehostParts(parts []int, logMoves bool) error {
+	moving := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		moving[p] = true
+	}
+	for round := 0; len(parts) > 0; round++ {
+		if round >= d.maxRounds() {
+			return fmt.Errorf("assembly: %d partition(s) still homeless after %d re-host rounds (last partition %d)",
+				len(parts), round, parts[0])
+		}
+		healthy := d.Pool.HealthyIDs()
+		if len(healthy) == 0 {
+			return fmt.Errorf("assembly: re-hosting %d partition(s): %w", len(parts), dist.ErrNoWorkers)
+		}
+		load := make(map[int]int, len(healthy))
+		for _, w := range healthy {
+			load[w] = 0
+		}
+		for p, w := range d.placement {
+			if _, ok := load[w]; ok && !moving[p] {
+				load[w]++
+			}
+		}
+		target := make([]int, len(parts))
+		epochs := make([]int64, len(parts))
+		for i := range parts {
+			best := healthy[0]
+			for _, w := range healthy[1:] {
+				if load[w] < load[best] {
+					best = w
+				}
+			}
+			target[i] = best
+			load[best]++
+			d.epochGen++
+			epochs[i] = d.epochGen
+		}
+		// Fresh extraction per round: the subgraphs (including the Local
+		// views of partitionNodes) ship inside RPC args, and an abandoned
+		// timed-out Load's encoder may outlive this call, so none of this
+		// memory is recycled.
+		allParts := d.partitionNodes()
+		x := d.extractor()
+		sc := x.get()
+		subs := make([]Subgraph, len(parts))
+		for i, p := range parts {
+			subs[i] = x.subgraph(sc, int32(p), allParts[p])
+		}
+		x.put(sc)
+		replies := make([]interface{}, len(parts))
+		for i := range replies {
+			replies[i] = &LoadReply{}
+		}
+		_, errs := d.Pool.ParallelCallsPlaced(len(parts), func(t int) int { return target[t] }, "Load",
+			func(t int) interface{} {
+				return &LoadArgs{RunID: d.runID, Sub: subs[t], Cfg: d.Cfg, Epoch: epochs[t]}
+			}, replies)
+		var remaining []int
+		for i, err := range errs {
+			p := parts[i]
+			if err == nil {
+				d.placement[p] = target[i]
+				d.partEpoch[p] = epochs[i]
+				if logMoves {
+					log.Printf("assembly: partition %d re-hosted onto worker %d (epoch %d)", p, target[i], epochs[i])
+				}
+				continue
+			}
+			if dist.IsTransportError(err) || IsRehostable(err) {
+				log.Printf("assembly: re-hosting partition %d onto worker %d failed (%v); retrying elsewhere", p, target[i], err)
+				remaining = append(remaining, p)
+				continue
+			}
+			return fmt.Errorf("assembly: loading partition %d onto worker %d: %w", p, target[i], err)
+		}
+		parts = remaining
+	}
+	return nil
+}
+
+// maybeRebalance drains the reconnect flag and, when a worker has come
+// back, elects partitions to move from the most- to the least-loaded
+// healthy workers (spread < 2 is already balanced). Elective moves keep
+// their old placement until the new Load succeeds, so a failed move
+// costs nothing. Called at phase boundaries only — mid-phase the
+// placement table must stay stable under the in-flight calls.
+func (d *Driver) maybeRebalance() {
+	if atomic.SwapInt32(&d.rebalanceFlag, 0) == 0 || !d.loaded {
+		return
+	}
+	healthy := d.Pool.HealthyIDs()
+	if len(healthy) < 2 {
+		return
+	}
+	load := make(map[int]int, len(healthy))
+	for _, w := range healthy {
+		load[w] = 0
+	}
+	// Partitions per healthy worker, and each worker's highest partition
+	// (moving the highest-numbered partition first is arbitrary but
+	// deterministic for a given placement).
+	partsOf := make(map[int][]int, len(healthy))
+	for p, w := range d.placement {
+		if _, ok := load[w]; ok {
+			load[w]++
+			partsOf[w] = append(partsOf[w], p)
+		}
+	}
+	var moves []int
+	for {
+		maxW, minW := healthy[0], healthy[0]
+		for _, w := range healthy[1:] {
+			if load[w] > load[maxW] {
+				maxW = w
+			}
+			if load[w] < load[minW] {
+				minW = w
+			}
+		}
+		if load[maxW]-load[minW] < 2 {
+			break
+		}
+		ps := partsOf[maxW]
+		p := ps[len(ps)-1]
+		partsOf[maxW] = ps[:len(ps)-1]
+		load[maxW]--
+		load[minW]++ // tentative: rehostParts re-derives the real target
+		moves = append(moves, p)
+	}
+	if len(moves) == 0 {
+		return
+	}
+	log.Printf("assembly: rebalancing %d partition(s) after worker reconnect", len(moves))
+	if err := d.rehostParts(moves, true); err != nil {
+		// Elective moves that failed keep their old (valid) placement;
+		// truly homeless partitions get re-hosted by the phase loop.
+		log.Printf("assembly: rebalance incomplete (%v); continuing with current placement", err)
+	}
+}
+
+// Close releases worker-side state of a stateful run (no-op otherwise)
+// and detaches the driver from the pool's reconnect notifications.
 func (d *Driver) Close() error {
+	if d.Pool != nil && d.Cfg.Stateful {
+		d.Pool.SetReconnectHook(nil)
+	}
 	if !d.loaded {
 		return nil
 	}
@@ -146,33 +359,7 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 		return d.runPhaseLocal(phase, vcfg), nil, nil
 	}
 	if d.Cfg.Stateful {
-		if err := d.ensureLoaded(); err != nil {
-			if d.fallBackStateful(phase, err) {
-				return d.runPhaseLocal(phase, vcfg), nil, nil
-			}
-			return nil, nil, err
-		}
-		delta := Delta{RemovedNodes: d.pendingNodes, RemovedEdges: d.pendingEdges}
-		d.pendingNodes, d.pendingEdges = nil, nil
-		replies := make([]interface{}, d.K)
-		for i := range replies {
-			replies[i] = &PhaseReplyStateful{}
-		}
-		times, err := d.Pool.ParallelCallsPinned(d.K, "Phase", func(t int) interface{} {
-			return &PhaseArgsStateful{RunID: d.runID, Part: int32(t), Phase: phase, Delta: delta, Cfg: d.Cfg, VCfg: vcfg}
-		}, replies)
-		if err != nil {
-			if d.fallBackStateful(phase, err) {
-				return d.runPhaseLocal(phase, vcfg), times, nil
-			}
-			return nil, times, err
-		}
-		results := make([]phaseResult, d.K)
-		for i, r := range replies {
-			pr := r.(*PhaseReplyStateful)
-			results[i] = phaseResult{Edges: pr.Edges, Removal: pr.Removal, Paths: pr.Paths, Variants: pr.Variants}
-		}
-		return results, times, nil
+		return d.runPhaseStateful(phase, vcfg)
 	}
 
 	// Extract every partition's subgraph up front (parallel fan-out): the
@@ -225,6 +412,91 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 	return results, times, nil
 }
 
+// runPhaseStateful drives one phase of the stateful delta protocol with
+// partition re-hosting: partitions whose worker was lost mid-phase (or
+// whose stored state was epoch-fenced) are rebuilt from the master's
+// authoritative graph, re-Loaded onto a surviving worker, and retried —
+// the run only degrades to local execution when no workers survive or
+// re-hosting cannot converge. The master's graph does not mutate during
+// a phase (removals are applied by the Trim* callers afterwards), so a
+// re-hosted copy equals the stored copy plus this phase's delta, and the
+// delta re-applied to it is an idempotent no-op: every partition computes
+// on identical graph state no matter how many times it was re-hosted,
+// keeping output byte-identical to a fault-free run.
+func (d *Driver) runPhaseStateful(phase string, vcfg VariantConfig) ([]phaseResult, []time.Duration, error) {
+	if err := d.ensureLoaded(); err != nil {
+		if d.fallBackStateful(phase, err) {
+			return d.runPhaseLocal(phase, vcfg), nil, nil
+		}
+		return nil, nil, err
+	}
+	d.maybeRebalance()
+	delta := Delta{RemovedNodes: d.pendingNodes, RemovedEdges: d.pendingEdges}
+	d.pendingNodes, d.pendingEdges = nil, nil
+	results := make([]phaseResult, d.K)
+	times := make([]time.Duration, d.K)
+	pending := make([]int, d.K)
+	for t := range pending {
+		pending[t] = t
+	}
+	for round := 0; len(pending) > 0; round++ {
+		if round >= d.maxRounds() {
+			err := fmt.Errorf("assembly: %s phase: partition(s) %v still failing after %d re-host rounds", phase, pending, round)
+			if d.fallBackStateful(phase, err) {
+				return d.runPhaseLocal(phase, vcfg), times, nil
+			}
+			return nil, times, err
+		}
+		// Re-home partitions that lost their worker in an earlier round.
+		var homeless []int
+		for _, p := range pending {
+			if w := d.placement[p]; w < 0 || !d.Pool.Healthy(w) {
+				homeless = append(homeless, p)
+			}
+		}
+		if err := d.rehostParts(homeless, true); err != nil {
+			if d.fallBackStateful(phase, err) {
+				return d.runPhaseLocal(phase, vcfg), times, nil
+			}
+			return nil, times, err
+		}
+		batch := pending
+		replies := make([]interface{}, len(batch))
+		for i := range replies {
+			replies[i] = &PhaseReplyStateful{}
+		}
+		// place/mkArgs read the placement and epoch tables from the
+		// scheduler's goroutines; the driver does not mutate them while the
+		// call is in flight.
+		ptimes, errs := d.Pool.ParallelCallsPlaced(len(batch), func(t int) int { return d.placement[batch[t]] }, "Phase",
+			func(t int) interface{} {
+				p := batch[t]
+				return &PhaseArgsStateful{RunID: d.runID, Part: int32(p), Phase: phase, Epoch: d.partEpoch[p],
+					Delta: delta, Cfg: d.Cfg, VCfg: vcfg}
+			}, replies)
+		var next []int
+		for i, err := range errs {
+			p := batch[i]
+			times[p] = ptimes[i]
+			if err == nil {
+				pr := replies[i].(*PhaseReplyStateful)
+				results[p] = phaseResult{Edges: pr.Edges, Removal: pr.Removal, Paths: pr.Paths, Variants: pr.Variants}
+				continue
+			}
+			if dist.IsTransportError(err) || IsRehostable(err) {
+				log.Printf("assembly: %s phase: partition %d lost on worker %d (%v); re-hosting", phase, p, d.placement[p], err)
+				d.placement[p] = -1
+				next = append(next, p)
+				continue
+			}
+			// Application-level service error: re-hosting cannot fix a bug.
+			return nil, times, err
+		}
+		pending = next
+	}
+	return results, times, nil
+}
+
 // fallBackStateful decides whether a failed stateful phase should degrade
 // to local execution, and if so makes the degradation sticky: worker-side
 // partitions have missed this phase's delta, so the distributed state is
@@ -235,8 +507,12 @@ func (d *Driver) fallBackStateful(phase string, err error) bool {
 		return false
 	}
 	d.localOnly = true
+	d.degradeRsn = DegradeFailure
 	d.pendingNodes, d.pendingEdges = nil, nil
-	log.Printf("assembly: %s phase (stateful): pool unusable (%v); falling back to local execution for the rest of the run", phase, err)
+	// The cause names the partition/worker that triggered the degradation
+	// (rehostParts and the phase loop build it that way).
+	log.Printf("assembly: %s phase (stateful): pool unusable, %d/%d workers healthy; cause: %v; falling back to local execution for the rest of the run",
+		phase, d.Pool.NumHealthy(), d.Pool.Size(), err)
 	return true
 }
 
@@ -296,7 +572,10 @@ func (d *Driver) runPhaseLocal(phase string, vcfg VariantConfig) []phaseResult {
 	return results
 }
 
-// NewDriver validates and assembles a driver.
+// NewDriver validates and assembles a driver. A nil pool is allowed and
+// means local execution by choice: every phase runs on the master and
+// Degraded() reports DegradeNoPool (as opposed to DegradeFailure, the
+// mid-run loss of a real pool).
 func NewDriver(pool *dist.Pool, g *DiGraph, labels []int32, k int, cfg Config) (*Driver, error) {
 	if len(labels) != g.NumNodes() {
 		return nil, fmt.Errorf("assembly: %d labels for %d nodes", len(labels), g.NumNodes())
@@ -309,7 +588,19 @@ func NewDriver(pool *dist.Pool, g *DiGraph, labels []int32, k int, cfg Config) (
 	if cfg.MinEdgeOverlap == 0 {
 		cfg = DefaultConfig()
 	}
-	return &Driver{Pool: pool, G: g, Labels: labels, K: k, Cfg: cfg}, nil
+	d := &Driver{Pool: pool, G: g, Labels: labels, K: k, Cfg: cfg}
+	if pool == nil {
+		d.localOnly = true
+		d.degradeRsn = DegradeNoPool
+	} else if cfg.Stateful {
+		// A reconnected worker is an empty rebalance target; the flag is
+		// drained at the next phase boundary (mid-phase the placement
+		// table must not move under in-flight calls).
+		pool.SetReconnectHook(func(worker int) {
+			atomic.StoreInt32(&d.rebalanceFlag, 1)
+		})
+	}
+	return d, nil
 }
 
 // partitionNodes returns the live node ids of each partition (one O(n)
@@ -386,6 +677,10 @@ func (d *Driver) Trim() (TrimStats, error) {
 
 // TrimTransitive runs phase 1: transitive reduction (§V.A).
 func (d *Driver) TrimTransitive(st *TrimStats) error {
+	if d.skipDone("Transitive") {
+		st.TransitiveEdges = d.statsMirror.TransitiveEdges
+		return nil
+	}
 	results, taskTimes, err := d.runPhase("Transitive", VariantConfig{})
 	st.PhaseTaskTimes[0] = taskTimes
 	if err != nil {
@@ -401,11 +696,17 @@ func (d *Driver) TrimTransitive(st *TrimStats) error {
 			}
 		}
 	}
-	return nil
+	d.statsMirror.TransitiveEdges = st.TransitiveEdges
+	return d.notePhase("Transitive")
 }
 
 // TrimContainment runs phase 2: containment + false-positive edges (§V.B).
 func (d *Driver) TrimContainment(st *TrimStats) error {
+	if d.skipDone("Containment") {
+		st.ContainedNodes = d.statsMirror.ContainedNodes
+		st.FalseEdges = d.statsMirror.FalseEdges
+		return nil
+	}
 	results, taskTimes, err := d.runPhase("Containment", VariantConfig{})
 	st.PhaseTaskTimes[1] = taskTimes
 	if err != nil {
@@ -427,11 +728,17 @@ func (d *Driver) TrimContainment(st *TrimStats) error {
 			}
 		}
 	}
-	return nil
+	d.statsMirror.ContainedNodes = st.ContainedNodes
+	d.statsMirror.FalseEdges = st.FalseEdges
+	return d.notePhase("Containment")
 }
 
 // TrimErrors runs phase 3: dead ends and bubbles (§V.C).
 func (d *Driver) TrimErrors(st *TrimStats) error {
+	if d.skipDone("Errors") {
+		st.DeadEndNodes = d.statsMirror.DeadEndNodes
+		return nil
+	}
 	results, taskTimes, err := d.runPhase("Errors", VariantConfig{})
 	st.PhaseTaskTimes[2] = taskTimes
 	if err != nil {
@@ -445,7 +752,8 @@ func (d *Driver) TrimErrors(st *TrimStats) error {
 			}
 		}
 	}
-	return nil
+	d.statsMirror.DeadEndNodes = st.DeadEndNodes
+	return d.notePhase("Errors")
 }
 
 // Traverse extracts partition-local maximal paths on the workers and joins

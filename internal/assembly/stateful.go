@@ -2,7 +2,9 @@ package assembly
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 )
 
 // The stateless protocol reships each partition's subgraph every phase.
@@ -12,10 +14,48 @@ import (
 // monotone — trimming only deletes nodes and edges — so ghosts never need
 // additions). The Driver picks the protocol via Config.Stateful; the
 // transport ablation bench compares the two.
+//
+// Epoch fencing (DESIGN.md §11): every Load carries a master-assigned,
+// per-partition monotonically increasing epoch, and every Phase names the
+// epoch it expects the stored partition to be at. A partition that was
+// re-hosted after a worker failure gets a higher epoch on its new home, so
+// (a) a Phase addressed to the old copy — on a worker that wedged and
+// later recovered — is rejected instead of computing on stale state, and
+// (b) a duplicate Load from an abandoned, timed-out attempt cannot roll a
+// partition back to an older generation. Fencing errors are app-level
+// (the worker is alive; its *state* is unusable), and net/rpc flattens
+// app-level errors to strings, so detection is by sentinel substring.
+
+const (
+	// staleEpochMsg marks a Load/Phase whose epoch does not match the
+	// worker's stored state. Matched by substring: rpc.ServerError erases
+	// error types in transit.
+	staleEpochMsg = "assembly: stale partition epoch"
+	// notLoadedMsg marks a Phase addressed to a partition the worker does
+	// not hold (never loaded, unloaded, or swept — e.g. a worker process
+	// restart lost its in-memory state table).
+	notLoadedMsg = "assembly: partition not loaded"
+)
+
+// IsRehostable reports whether an error from a stateful Load/Phase call
+// means the addressed worker lacks usable state for the partition — the
+// worker is alive but the partition must be re-hosted (re-Loaded at a
+// fresh epoch) before phases can resume. Transport errors are NOT
+// rehostable by this predicate (the caller handles those via
+// dist.IsTransportError); only the two state sentinels match.
+func IsRehostable(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, staleEpochMsg) || strings.Contains(msg, notLoadedMsg)
+}
 
 // storedPart is one partition retained on a worker between phases.
 type storedPart struct {
-	sub Subgraph
+	sub   Subgraph
+	epoch int64
+	touch time.Time // last Load/Phase, for the run-TTL sweep
 }
 
 // state is the worker-side session table. It lives on the Service value,
@@ -36,11 +76,15 @@ func partKey(runID string, part int32) string {
 	return fmt.Sprintf("%s/%d", runID, part)
 }
 
-// LoadArgs ships a partition to be retained.
+// LoadArgs ships a partition to be retained. Epoch is the partition's
+// generation stamp: the worker rejects a Load that does not advance the
+// epoch of an already-stored copy (a late duplicate from a timed-out
+// attempt must not clobber a newer generation).
 type LoadArgs struct {
 	RunID string
 	Sub   Subgraph
 	Cfg   Config
+	Epoch int64
 }
 
 // LoadReply acknowledges a Load.
@@ -52,7 +96,12 @@ func (s *Service) Load(args *LoadArgs, reply *LoadReply) error {
 	st := s.ensureState()
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.parts[partKey(args.RunID, args.Sub.Part)] = &storedPart{sub: args.Sub}
+	key := partKey(args.RunID, args.Sub.Part)
+	if old, ok := st.parts[key]; ok && args.Epoch <= old.epoch {
+		return fmt.Errorf("%s: Load of partition %d of run %q at epoch %d rejected, stored epoch is %d",
+			staleEpochMsg, args.Sub.Part, args.RunID, args.Epoch, old.epoch)
+	}
+	st.parts[key] = &storedPart{sub: args.Sub, epoch: args.Epoch, touch: time.Now()}
 	reply.Nodes = len(args.Sub.Nodes)
 	reply.Edges = len(args.Sub.Edges)
 	return nil
@@ -65,11 +114,15 @@ type Delta struct {
 	RemovedEdges []EdgePair
 }
 
-// PhaseArgsStateful drives one phase against a stored partition.
+// PhaseArgsStateful drives one phase against a stored partition. Epoch
+// must equal the epoch of the stored copy the master believes this worker
+// holds; a mismatch in either direction means master and worker disagree
+// about the partition's generation and the call is rejected.
 type PhaseArgsStateful struct {
 	RunID string
 	Part  int32
 	Phase string // "Transitive" | "Containment" | "Errors" | "Paths" | "Variants"
+	Epoch int64
 	Delta Delta
 	Cfg   Config
 	VCfg  VariantConfig
@@ -126,9 +179,18 @@ func (s *Service) Phase(args *PhaseArgsStateful, reply *PhaseReplyStateful) erro
 	st := s.ensureState()
 	st.mu.Lock()
 	p, ok := st.parts[partKey(args.RunID, args.Part)]
+	if ok && p.epoch != args.Epoch {
+		stored := p.epoch
+		st.mu.Unlock()
+		return fmt.Errorf("%s: Phase %s of partition %d of run %q at epoch %d, stored epoch is %d",
+			staleEpochMsg, args.Phase, args.Part, args.RunID, args.Epoch, stored)
+	}
+	if ok {
+		p.touch = time.Now()
+	}
 	st.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("assembly: partition %d of run %q not loaded", args.Part, args.RunID)
+		return fmt.Errorf("%s: partition %d of run %q", notLoadedMsg, args.Part, args.RunID)
 	}
 	applyDelta(&p.sub, args.Delta)
 	switch args.Phase {
@@ -165,4 +227,41 @@ func (s *Service) Unload(args *UnloadArgs, reply *bool) error {
 	}
 	*reply = true
 	return nil
+}
+
+// StartRunTTL starts a background sweep that drops stored partitions not
+// touched (Loaded or Phased) within ttl. Long-lived worker processes use
+// it (focus-worker -run-ttl) so masters that die without Unloading do not
+// leak partitions forever. The sweep stops when stop is closed; ttl <= 0
+// is a no-op. A swept partition that a master still believes is resident
+// surfaces as a not-loaded fencing error on its next Phase, which the
+// master answers by re-hosting — the same path as a worker restart.
+func (s *Service) StartRunTTL(ttl time.Duration, stop <-chan struct{}) {
+	if ttl <= 0 {
+		return
+	}
+	st := s.ensureState()
+	go func() {
+		interval := ttl / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				cutoff := time.Now().Add(-ttl)
+				st.mu.Lock()
+				for k, p := range st.parts {
+					if p.touch.Before(cutoff) {
+						delete(st.parts, k)
+					}
+				}
+				st.mu.Unlock()
+			}
+		}
+	}()
 }

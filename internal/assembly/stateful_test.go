@@ -2,6 +2,7 @@ package assembly
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"focus/internal/dist"
@@ -36,24 +37,24 @@ func TestApplyDelta(t *testing.T) {
 func TestStatefulServiceLifecycle(t *testing.T) {
 	svc := &Service{}
 	var lr LoadReply
-	if err := svc.Load(&LoadArgs{RunID: "r1", Sub: *chainSub(3), Cfg: DefaultConfig()}, &lr); err != nil {
+	if err := svc.Load(&LoadArgs{RunID: "r1", Sub: *chainSub(3), Cfg: DefaultConfig(), Epoch: 1}, &lr); err != nil {
 		t.Fatal(err)
 	}
 	if lr.Nodes != 3 {
 		t.Fatalf("load reply %+v", lr)
 	}
 	var pr PhaseReplyStateful
-	if err := svc.Phase(&PhaseArgsStateful{RunID: "r1", Part: 0, Phase: "Paths", Cfg: DefaultConfig()}, &pr); err != nil {
+	if err := svc.Phase(&PhaseArgsStateful{RunID: "r1", Part: 0, Phase: "Paths", Epoch: 1, Cfg: DefaultConfig()}, &pr); err != nil {
 		t.Fatal(err)
 	}
 	if len(pr.Paths) != 1 || len(pr.Paths[0]) != 3 {
 		t.Fatalf("paths = %v", pr.Paths)
 	}
 	// Unknown phase and unknown partition error.
-	if err := svc.Phase(&PhaseArgsStateful{RunID: "r1", Part: 0, Phase: "Nope"}, &pr); err == nil {
+	if err := svc.Phase(&PhaseArgsStateful{RunID: "r1", Part: 0, Phase: "Nope", Epoch: 1}, &pr); err == nil {
 		t.Error("unknown phase accepted")
 	}
-	if err := svc.Phase(&PhaseArgsStateful{RunID: "rX", Part: 0, Phase: "Paths"}, &pr); err == nil {
+	if err := svc.Phase(&PhaseArgsStateful{RunID: "rX", Part: 0, Phase: "Paths", Epoch: 1}, &pr); err == nil {
 		t.Error("unloaded run accepted")
 	}
 	// Unload forgets the run.
@@ -61,8 +62,65 @@ func TestStatefulServiceLifecycle(t *testing.T) {
 	if err := svc.Unload(&UnloadArgs{RunID: "r1"}, &ok); err != nil || !ok {
 		t.Fatal(err)
 	}
-	if err := svc.Phase(&PhaseArgsStateful{RunID: "r1", Part: 0, Phase: "Paths"}, &pr); err == nil {
+	if err := svc.Phase(&PhaseArgsStateful{RunID: "r1", Part: 0, Phase: "Paths", Epoch: 1}, &pr); err == nil {
 		t.Error("unloaded partition still served")
+	}
+}
+
+// TestEpochFencing pins the fencing rules of DESIGN.md §11: a Load must
+// strictly advance the stored epoch, a Phase must name the stored epoch
+// exactly, and fencing rejections are rehostable app-level errors.
+func TestEpochFencing(t *testing.T) {
+	svc := &Service{}
+	var lr LoadReply
+	if err := svc.Load(&LoadArgs{RunID: "r", Sub: *chainSub(3), Cfg: DefaultConfig(), Epoch: 2}, &lr); err != nil {
+		t.Fatal(err)
+	}
+	// A late duplicate Load at the same or an older epoch is rejected.
+	for _, e := range []int64{2, 1} {
+		err := svc.Load(&LoadArgs{RunID: "r", Sub: *chainSub(3), Cfg: DefaultConfig(), Epoch: e}, &lr)
+		if err == nil {
+			t.Fatalf("Load at epoch %d accepted over stored epoch 2", e)
+		}
+		if !IsRehostable(err) {
+			t.Fatalf("stale Load error not rehostable: %v", err)
+		}
+	}
+	// Phases at mismatched epochs — older (late request from before a
+	// re-host) or newer (worker restarted with an older copy) — are fenced.
+	var pr PhaseReplyStateful
+	for _, e := range []int64{1, 3} {
+		err := svc.Phase(&PhaseArgsStateful{RunID: "r", Part: 0, Phase: "Paths", Epoch: e, Cfg: DefaultConfig()}, &pr)
+		if err == nil {
+			t.Fatalf("Phase at epoch %d accepted over stored epoch 2", e)
+		}
+		if !IsRehostable(err) {
+			t.Fatalf("epoch-fenced Phase error not rehostable: %v", err)
+		}
+	}
+	// The matching epoch still works.
+	if err := svc.Phase(&PhaseArgsStateful{RunID: "r", Part: 0, Phase: "Paths", Epoch: 2, Cfg: DefaultConfig()}, &pr); err != nil {
+		t.Fatal(err)
+	}
+	// A Load at a newer epoch (re-host onto this worker) is accepted, and
+	// fences out the previous epoch's phases.
+	if err := svc.Load(&LoadArgs{RunID: "r", Sub: *chainSub(3), Cfg: DefaultConfig(), Epoch: 5}, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Phase(&PhaseArgsStateful{RunID: "r", Part: 0, Phase: "Paths", Epoch: 2, Cfg: DefaultConfig()}, &pr); err == nil {
+		t.Fatal("pre-rehost Phase accepted after epoch advance")
+	}
+	// Not-loaded is rehostable too (worker restart lost the state table).
+	err := svc.Phase(&PhaseArgsStateful{RunID: "gone", Part: 0, Phase: "Paths", Epoch: 1}, &pr)
+	if !IsRehostable(err) {
+		t.Fatalf("not-loaded error not rehostable: %v", err)
+	}
+	// Unknown-phase errors are NOT rehostable — re-hosting cannot fix them.
+	if IsRehostable(fmt.Errorf("assembly: unknown phase %q", "Nope")) {
+		t.Fatal("unknown-phase error misclassified as rehostable")
+	}
+	if IsRehostable(nil) {
+		t.Fatal("nil error rehostable")
 	}
 }
 

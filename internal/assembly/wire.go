@@ -39,7 +39,7 @@ var (
 // the frame (every element encodes to ≥1 byte), so a corrupt length makes
 // a decode error instead of a huge allocation.
 func boundLen(rd *dist.WireReader, n int) int {
-	if n > rd.Remaining() {
+	if n < 0 || n > rd.Remaining() {
 		rd.Fail(fmt.Errorf("assembly: wire: %d elements with %d bytes left", n, rd.Remaining()))
 		return 0
 	}
@@ -390,6 +390,7 @@ func (r *VariantsReply) DecodeFrom(src []byte) error {
 // AppendTo implements dist.Wire.
 func (a *LoadArgs) AppendTo(dst []byte) []byte {
 	dst = dist.AppendString(dst, a.RunID)
+	dst = dist.AppendVarint(dst, a.Epoch)
 	dst = appendSubgraph(dst, &a.Sub)
 	return appendConfig(dst, &a.Cfg)
 }
@@ -398,6 +399,7 @@ func (a *LoadArgs) AppendTo(dst []byte) []byte {
 func (a *LoadArgs) DecodeFrom(src []byte) error {
 	rd := dist.NewWireReader(src)
 	a.RunID = rd.String()
+	a.Epoch = rd.Varint()
 	decodeSubgraph(&rd, &a.Sub)
 	decodeConfig(&rd, &a.Cfg)
 	return rd.Finish()
@@ -422,6 +424,7 @@ func (a *PhaseArgsStateful) AppendTo(dst []byte) []byte {
 	dst = dist.AppendString(dst, a.RunID)
 	dst = dist.AppendVarint(dst, int64(a.Part))
 	dst = dist.AppendString(dst, a.Phase)
+	dst = dist.AppendVarint(dst, a.Epoch)
 	dst = appendDelta(dst, &a.Delta)
 	dst = appendConfig(dst, &a.Cfg)
 	return appendVariantConfig(dst, &a.VCfg)
@@ -433,6 +436,7 @@ func (a *PhaseArgsStateful) DecodeFrom(src []byte) error {
 	a.RunID = rd.String()
 	a.Part = int32(rd.Varint())
 	a.Phase = rd.String()
+	a.Epoch = rd.Varint()
 	decodeDelta(&rd, &a.Delta)
 	decodeConfig(&rd, &a.Cfg)
 	decodeVariantConfig(&rd, &a.VCfg)

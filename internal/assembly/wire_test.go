@@ -204,10 +204,11 @@ func TestWireRoundTripProperty(t *testing.T) {
 		rtWire(t, &RemovalReply{Removal: Removal{Nodes: randIDs(rng), Edges: randEdgePairs(rng)}}, &rr)
 		rtWire(t, &PathsReply{Paths: randPaths(rng)}, &pr)
 		rtWire(t, &VariantsReply{Variants: randVariants(rng)}, &vr)
-		rtWire(t, &LoadArgs{RunID: randString(rng), Sub: randSubgraph(rng), Cfg: randConfig(rng)}, &la)
+		rtWire(t, &LoadArgs{RunID: randString(rng), Sub: randSubgraph(rng), Cfg: randConfig(rng), Epoch: rng.Int63()}, &la)
 		rtWire(t, &LoadReply{Nodes: rng.Intn(1000), Edges: rng.Intn(1000)}, &lr)
 		rtWire(t, &PhaseArgsStateful{
 			RunID: randString(rng), Part: int32(rng.Uint32()), Phase: randString(rng),
+			Epoch: rng.Int63(),
 			Delta: Delta{RemovedNodes: randIDs(rng), RemovedEdges: randEdgePairs(rng)},
 			Cfg:   randConfig(rng), VCfg: randVariantConfig(rng),
 		}, &pas)

@@ -1,0 +1,163 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc123"), 1000)}
+	for _, p := range payloads {
+		enc := Encode(7, p)
+		got, err := Decode(enc, 7)
+		if err != nil {
+			t.Fatalf("decode(%d bytes): %v", len(p), err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("payload mismatch: %d bytes in, %d out", len(p), len(got))
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := Encode(1, []byte("the quick brown fox"))
+	// Truncation at every length short of the full frame.
+	for n := 0; n < len(enc); n++ {
+		if _, err := Decode(enc[:n], 1); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+	// A flipped bit anywhere must fail the CRC (or the magic check).
+	for i := 0; i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad, 1); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	enc := Encode(3, []byte("payload"))
+	if _, err := Decode(enc, 4); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+	// Version is checked after integrity: a corrupt frame is ErrCorrupt
+	// even if the version bytes happen to differ too.
+	bad := append([]byte(nil), enc...)
+	bad[5]++
+	if _, err := Decode(bad, 4); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt before version check", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, Name(1))
+	payload := []byte("graph state goes here")
+	if err := WriteFile(path, 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after file round-trip")
+	}
+	// No temp litter after a successful write.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("%d entries in dir after write, want 1", len(entries))
+	}
+}
+
+func TestLatestPicksNewestValid(t *testing.T) {
+	dir := t.TempDir()
+	for seq, body := range map[int]string{1: "one", 3: "three", 2: "two"} {
+		if err := Write(dir, seq, 1, []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload, seq, skipped, err := Latest(dir, 1)
+	if err != nil || seq != 3 || string(payload) != "three" || len(skipped) != 0 {
+		t.Fatalf("Latest = (%q, %d, %v, %v)", payload, seq, skipped, err)
+	}
+
+	// Corrupt the newest: Latest must skip it (reporting the skip) and
+	// fall back to the next valid one.
+	path3 := filepath.Join(dir, Name(3))
+	data, _ := os.ReadFile(path3)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path3, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, seq, skipped, err = Latest(dir, 1)
+	if err != nil || seq != 2 || string(payload) != "two" {
+		t.Fatalf("Latest after corruption = (%q, %d, %v)", payload, seq, err)
+	}
+	if len(skipped) != 1 || !errors.Is(skipped[0], ErrCorrupt) {
+		t.Fatalf("skipped = %v, want one ErrCorrupt", skipped)
+	}
+
+	// Truncate to zero bytes: still detected, still skipped.
+	if err := os.WriteFile(path3, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, seq, skipped, err = Latest(dir, 1)
+	if err != nil || seq != 2 || len(skipped) != 1 {
+		t.Fatalf("Latest after truncation = (%d, %v, %v)", seq, skipped, err)
+	}
+}
+
+func TestLatestAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	for seq := 1; seq <= 2; seq++ {
+		if err := Write(dir, seq, 1, []byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, Name(seq))
+		if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, skipped, err := Latest(dir, 1)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped %d files, want 2", len(skipped))
+	}
+}
+
+func TestLatestNone(t *testing.T) {
+	if _, _, _, err := Latest(t.TempDir(), 1); !errors.Is(err, ErrNone) {
+		t.Fatalf("empty dir: err = %v, want ErrNone", err)
+	}
+	if _, _, _, err := Latest(filepath.Join(t.TempDir(), "missing"), 1); !errors.Is(err, ErrNone) {
+		t.Fatalf("missing dir: err = %v, want ErrNone", err)
+	}
+	// Non-checkpoint files are ignored, not corrupt.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644)
+	if _, _, _, err := Latest(dir, 1); !errors.Is(err, ErrNone) {
+		t.Fatalf("unrelated files: err = %v, want ErrNone", err)
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	for _, seq := range []int{0, 1, 42, 123456789} {
+		n, ok := parseSeq(Name(seq))
+		if !ok || n != seq {
+			t.Fatalf("parseSeq(Name(%d)) = (%d, %v)", seq, n, ok)
+		}
+	}
+	for _, bad := range []string{"ckpt-.fckp", "ckpt-x.fckp", "other", "ckpt-1.txt", "ckpt--0001.fckp"} {
+		if _, ok := parseSeq(bad); ok {
+			t.Fatalf("parseSeq(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the checkpoint frame decoder: the
+// CRC/magic/size checks must reject garbage with an error — never a panic
+// and never a silently truncated payload — and any frame Decode accepts
+// must be byte-identical to what Encode produces for its payload (the
+// framing admits exactly one encoding per payload).
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(1, []byte("payload")))
+	f.Add(Encode(1, nil))
+	f.Add(Encode(2, bytes.Repeat([]byte{0xAB}, 512)))
+	f.Add([]byte("FCKP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data, 1)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Encode(1, payload), data) {
+			t.Fatalf("accepted frame is not the canonical encoding of its payload")
+		}
+	})
+}

@@ -174,6 +174,9 @@ type Pool struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	hookMu        sync.Mutex
+	reconnectHook func(worker int)
+
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup // reconnect loops
@@ -325,6 +328,40 @@ func (p *Pool) NumHealthy() int {
 		}
 	}
 	return n
+}
+
+// Healthy reports whether worker i is currently schedulable (live
+// connection, not evicted). Out-of-range ids are unhealthy.
+func (p *Pool) Healthy(i int) bool {
+	if i < 0 || i >= len(p.workers) {
+		return false
+	}
+	return p.workerRunnable(p.workers[i])
+}
+
+// HealthyIDs returns the ids of the currently schedulable workers in
+// ascending order. The snapshot is advisory — a worker may die between the
+// call and its use — but stateful placement only needs a best-effort view:
+// a placement on a worker that just died fails its call and is re-placed.
+func (p *Pool) HealthyIDs() []int {
+	var ids []int
+	for _, w := range p.workers {
+		if p.workerRunnable(w) {
+			ids = append(ids, w.id)
+		}
+	}
+	return ids
+}
+
+// SetReconnectHook registers fn to be called (from the reconnect
+// goroutine) each time a severed worker is reinstated. Stateful callers
+// use it to schedule rebalancing onto the recovered worker. Pass nil to
+// clear. The hook must not block: it runs on the reconnect loop's
+// goroutine and a slow hook delays the worker's return to service.
+func (p *Pool) SetReconnectHook(fn func(worker int)) {
+	p.hookMu.Lock()
+	p.reconnectHook = fn
+	p.hookMu.Unlock()
 }
 
 func (p *Pool) workerRunnable(w *worker) bool {
@@ -479,6 +516,12 @@ func (p *Pool) reconnectLoop(w *worker) {
 		w.client = client
 		w.mu.Unlock()
 		p.opt.Logf("dist: worker %d reconnected", w.id)
+		p.hookMu.Lock()
+		hook := p.reconnectHook
+		p.hookMu.Unlock()
+		if hook != nil {
+			hook(w.id)
+		}
 		return
 	}
 	w.mu.Lock()

@@ -46,10 +46,30 @@ func (p *Pool) ParallelCallsRetry(tasks int, method string, mkArgs func(t int) i
 
 // ParallelCallsPinned runs task t on worker t % Size(), the static
 // round-robin assignment, with per-call deadlines but no rescheduling.
-// Protocols that pin per-worker state to the task index (the stateful
-// delta protocol) need this: rerouting a task would address state the
-// target worker does not hold.
+// Protocols that pin per-worker state to the task index need this:
+// rerouting a task would address state the target worker does not hold.
+// (The stateful assembly driver now uses ParallelCallsPlaced with an
+// explicit placement table so it can re-host partitions; this remains for
+// protocols whose placement really is the static modulo map.)
 func (p *Pool) ParallelCallsPinned(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, error) {
+	times, errs := p.ParallelCallsPlaced(tasks, func(t int) int { return t % len(p.workers) }, method, mkArgs, replies)
+	for _, err := range errs {
+		if err != nil {
+			return times, err
+		}
+	}
+	return times, nil
+}
+
+// ParallelCallsPlaced runs task t on worker place(t) — an explicit
+// placement table — with per-call deadlines, one in-flight call per
+// worker, and NO rescheduling: stateful protocols address state resident
+// on a specific worker, so only the caller (who owns the placement table)
+// can decide where a failed task may legally run next. Unlike the other
+// ParallelCalls variants it returns the error of every task, letting the
+// caller re-host exactly the partitions that failed instead of abandoning
+// the phase on the first error.
+func (p *Pool) ParallelCallsPlaced(tasks int, place func(t int) int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, []error) {
 	var wg sync.WaitGroup
 	errs := make([]error, tasks)
 	times := make([]time.Duration, tasks)
@@ -59,7 +79,12 @@ func (p *Pool) ParallelCallsPinned(tasks int, method string, mkArgs func(t int) 
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			w := p.workers[t%len(p.workers)]
+			wid := place(t)
+			if wid < 0 || wid >= len(p.workers) {
+				errs[t] = fmt.Errorf("dist: task %d placed on worker %d outside [0,%d)", t, wid, len(p.workers))
+				return
+			}
+			w := p.workers[wid]
 			// Argument construction happens on the master and is not
 			// part of the worker's task time.
 			args := mkArgs(t)
@@ -75,12 +100,7 @@ func (p *Pool) ParallelCallsPinned(tasks int, method string, mkArgs func(t int) 
 		}(t)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return times, err
-		}
-	}
-	return times, nil
+	return times, errs
 }
 
 func (p *Pool) parallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, opt callOptions) ([]time.Duration, error) {

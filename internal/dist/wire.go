@@ -241,13 +241,21 @@ func (r *WireReader) Fail(err error) {
 }
 
 // Len decodes a length written by AppendLen: present=false means the
-// slice was nil.
+// slice was nil. Each encoded element occupies at least one byte, so a
+// count beyond the remaining bytes is corruption — failing here (rather
+// than returning a huge or int-overflowed count) protects every
+// slice-decoding caller from unbounded or negative allocations.
 func (r *WireReader) Len() (n int, present bool) {
 	v := r.Uvarint()
 	if v == 0 {
 		return 0, false
 	}
-	return int(v - 1), true
+	v--
+	if v > uint64(r.Remaining()) {
+		r.fail("slice length")
+		return 0, false
+	}
+	return int(v), true
 }
 
 // AppendInt32sDelta appends ids delta-zigzag encoded (sorted lists

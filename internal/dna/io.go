@@ -118,12 +118,16 @@ func WriteFASTA(w io.Writer, reads []Read, width int) error {
 
 // ReadFASTQ parses FASTQ records from r. Only the strict 4-line-per-record
 // layout is supported (the layout emitted by Illumina pipelines and by this
-// package's writer).
+// package's writer). CRLF line endings are accepted. Malformed input —
+// truncated records, non-'@' headers, empty sequences, length-mismatched
+// quality strings, non-ACGTN bases, out-of-range quality bytes — is an
+// error naming the offending record and line, never a silently skipped or
+// half-parsed read.
 func ReadFASTQ(r io.Reader) ([]Read, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	var reads []Read
-	line := 0
+	line, rec := 0, 0
 	next := func() ([]byte, bool) {
 		for sc.Scan() {
 			line++
@@ -131,6 +135,9 @@ func ReadFASTQ(r io.Reader) ([]Read, error) {
 			return t, true
 		}
 		return nil, false
+	}
+	bad := func(format string, a ...interface{}) error {
+		return fmt.Errorf("dna: fastq record %d (line %d): %s", rec, line, fmt.Sprintf(format, a...))
 	}
 	for {
 		hdr, ok := next()
@@ -140,41 +147,48 @@ func ReadFASTQ(r io.Reader) ([]Read, error) {
 		if len(hdr) == 0 {
 			continue
 		}
+		rec++
 		if hdr[0] != '@' {
-			return nil, fmt.Errorf("dna: fastq line %d: expected '@', got %q", line, hdr[0])
+			return nil, bad("expected '@', got %q", hdr[0])
 		}
 		id := strings.Fields(string(hdr[1:]))
 		if len(id) == 0 {
-			return nil, fmt.Errorf("dna: fastq line %d: empty header", line)
+			return nil, bad("empty header")
 		}
 		seq, ok := next()
 		if !ok {
-			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing sequence)", line)
+			return nil, bad("truncated record (missing sequence)")
+		}
+		if len(seq) == 0 {
+			return nil, bad("empty sequence")
 		}
 		seqCopy := append([]byte(nil), seq...)
 		if err := foldUpper(seqCopy); err != nil {
-			return nil, fmt.Errorf("dna: fastq line %d: %v", line, err)
+			return nil, bad("%v", err)
 		}
 		plus, ok := next()
-		if !ok || len(plus) == 0 || plus[0] != '+' {
-			return nil, fmt.Errorf("dna: fastq line %d: expected '+' separator", line)
+		if !ok {
+			return nil, bad("truncated record (missing '+' separator)")
+		}
+		if len(plus) == 0 || plus[0] != '+' {
+			return nil, bad("expected '+' separator, got %q", plus)
 		}
 		qual, ok := next()
 		if !ok {
-			return nil, fmt.Errorf("dna: fastq line %d: truncated record (missing quality)", line)
+			return nil, bad("truncated record (missing quality)")
 		}
 		if len(qual) != len(seqCopy) {
-			return nil, fmt.Errorf("dna: fastq line %d: quality length %d != sequence length %d", line, len(qual), len(seqCopy))
+			return nil, bad("quality length %d != sequence length %d", len(qual), len(seqCopy))
 		}
 		for i, q := range qual {
 			if q < 33 || q > 126 {
-				return nil, fmt.Errorf("dna: fastq line %d: invalid quality byte %d at position %d", line, q, i)
+				return nil, bad("invalid quality byte %d at position %d", q, i)
 			}
 		}
 		reads = append(reads, Read{ID: id[0], Seq: seqCopy, Qual: append([]byte(nil), qual...)})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dna: fastq: %w", err)
+		return nil, fmt.Errorf("dna: fastq record %d (line %d): %w", rec, line, err)
 	}
 	return reads, nil
 }

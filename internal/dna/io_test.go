@@ -84,20 +84,47 @@ func TestReadFASTQ(t *testing.T) {
 }
 
 func TestReadFASTQErrors(t *testing.T) {
-	cases := map[string]string{
-		"bad header":    "r1\nACGT\n+\nIIII\n",
-		"empty header":  "@\nACGT\n+\nIIII\n",
-		"truncated seq": "@r1\n",
-		"bad sep":       "@r1\nACGT\nX\nIIII\n",
-		"truncated":     "@r1\nACGT\n+\n",
-		"qual length":   "@r1\nACGT\n+\nIII\n",
-		"bad base":      "@r1\nACGZ\n+\nIIII\n",
-		"bad qual byte": "@r1\nACGT\n+\nII\x1fI\n",
+	// One valid record precedes each malformed one so the error must name
+	// record 2 and the right line, not just "somewhere in the file".
+	const ok = "@good\nACGT\n+\nIIII\n"
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings the error must carry
+	}{
+		{"bad header", ok + "r2\nACGT\n+\nIIII\n", []string{"record 2", "line 5", "'@'"}},
+		{"empty header", ok + "@\nACGT\n+\nIIII\n", []string{"record 2", "line 5", "empty header"}},
+		{"truncated seq", ok + "@r2\n", []string{"record 2", "line 5", "missing sequence"}},
+		{"empty seq", ok + "@r2\n\n+\n\n", []string{"record 2", "line 6", "empty sequence"}},
+		{"bad sep", ok + "@r2\nACGT\nX\nIIII\n", []string{"record 2", "line 7", "'+' separator"}},
+		{"truncated sep", ok + "@r2\nACGT\n", []string{"record 2", "line 6", "missing '+' separator"}},
+		{"truncated qual", ok + "@r2\nACGT\n+\n", []string{"record 2", "line 7", "missing quality"}},
+		{"qual length", ok + "@r2\nACGT\n+\nIII\n", []string{"record 2", "line 8", "quality length 3 != sequence length 4"}},
+		{"bad base", ok + "@r2\nACGZ\n+\nIIII\n", []string{"record 2", "line 6", "invalid base"}},
+		{"bad qual byte", ok + "@r2\nACGT\n+\nII\x1fI\n", []string{"record 2", "line 8", "invalid quality byte"}},
 	}
-	for name, in := range cases {
-		if _, err := ReadFASTQ(strings.NewReader(in)); err == nil {
-			t.Errorf("%s: ReadFASTQ(%q) = nil error", name, in)
+	for _, tc := range cases {
+		_, err := ReadFASTQ(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: ReadFASTQ(%q) = nil error", tc.name, tc.in)
+			continue
 		}
+		for _, w := range tc.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%s: error %q does not mention %q", tc.name, err, w)
+			}
+		}
+	}
+}
+
+func TestReadFASTQCRLF(t *testing.T) {
+	in := "@r1 desc\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nNA\r\n+\r\n!~\r\n"
+	reads, err := ReadFASTQ(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 || string(reads[0].Seq) != "ACGT" || string(reads[1].Qual) != "!~" {
+		t.Fatalf("CRLF parse: %+v", reads)
 	}
 }
 

@@ -22,7 +22,7 @@ var (
 // (each element encodes to ≥1 byte): corrupt lengths become decode errors
 // rather than huge allocations.
 func boundLen(rd *dist.WireReader, n int) int {
-	if n > rd.Remaining() {
+	if n < 0 || n > rd.Remaining() {
 		rd.Fail(fmt.Errorf("overlap: wire: %d elements with %d bytes left", n, rd.Remaining()))
 		return 0
 	}

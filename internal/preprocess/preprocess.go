@@ -67,13 +67,25 @@ func QualityTrim(r dna.Read, window, step int, minQ float64) (keep int, ok bool)
 
 // Run preprocesses the read set per the config. Reads are deep-copied; the
 // input slice is not modified.
+//
+// Run is the pipeline's ingestion gate: every read is validated before any
+// trimming, so malformed programmatic input (the file readers validate on
+// parse, but API callers can hand Run anything) fails loudly with the read
+// index and ID instead of corrupting the overlap stage downstream.
 func Run(reads []dna.Read, cfg Config) ([]dna.Read, Stats, error) {
 	if cfg.Trim5 < 0 || cfg.Trim3 < 0 {
 		return nil, Stats{}, fmt.Errorf("preprocess: negative trim lengths")
 	}
 	st := Stats{Input: len(reads)}
 	out := make([]dna.Read, 0, len(reads)*2)
-	for _, r := range reads {
+	for i, r := range reads {
+		if err := dna.ValidateSeq(r.Seq); err != nil {
+			return nil, Stats{}, fmt.Errorf("preprocess: read %d (%q): %w", i, r.ID, err)
+		}
+		if r.Qual != nil && len(r.Qual) != len(r.Seq) {
+			return nil, Stats{}, fmt.Errorf("preprocess: read %d (%q): quality length %d != sequence length %d",
+				i, r.ID, len(r.Qual), len(r.Seq))
+		}
 		orig := r.Len()
 		// Fixed end trimming.
 		if cfg.Trim5+cfg.Trim3 >= r.Len() {

@@ -295,3 +295,36 @@ func TestSplitErrors(t *testing.T) {
 		t.Error("n=0 accepted")
 	}
 }
+
+// TestRunValidatesInput: Run is the ingestion gate for programmatic input —
+// malformed reads fail loudly with the read index and ID, before any
+// trimming can mask them.
+func TestRunValidatesInput(t *testing.T) {
+	good := dna.Read{ID: "ok", Seq: []byte("ACGTACGT"), Qual: qual(30, 30, 30, 30, 30, 30, 30, 30)}
+	cases := []struct {
+		name string
+		bad  dna.Read
+		want []string
+	}{
+		{"invalid base", dna.Read{ID: "badbase", Seq: []byte("ACXT")}, []string{"read 1", `"badbase"`, "invalid base"}},
+		{"lowercase base", dna.Read{ID: "lower", Seq: []byte("acgt")}, []string{"read 1", `"lower"`, "invalid base"}},
+		{"qual mismatch", dna.Read{ID: "shortq", Seq: []byte("ACGT"), Qual: qual(30, 30)}, []string{"read 1", `"shortq"`, "quality length 2 != sequence length 4"}},
+	}
+	for _, tc := range cases {
+		_, _, err := Run([]dna.Read{good, tc.bad}, Config{})
+		if err == nil {
+			t.Errorf("%s: Run accepted malformed read", tc.name)
+			continue
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%s: error %q does not mention %q", tc.name, err, w)
+			}
+		}
+	}
+	// The gate passes clean input through untouched.
+	out, st, err := Run([]dna.Read{good}, Config{})
+	if err != nil || len(out) != 1 || st.Kept != 1 {
+		t.Fatalf("clean input: out=%d stats=%+v err=%v", len(out), st, err)
+	}
+}

@@ -2,12 +2,18 @@
 # Regenerates the committed benchmark artifacts (BENCH_graph.json,
 # BENCH_wire.json) and runs the package micro-benchmarks, with a
 # vet+gofmt guard in front so numbers are never published from a tree
-# that wouldn't pass review.
+# that wouldn't pass review. Set RACE_GATE=1 to additionally run the
+# full robustness gate (scripts/race.sh) before benchmarking.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== guard: go vet =="
 go vet ./...
+
+if [ "${RACE_GATE:-0}" = "1" ]; then
+    echo "== guard: robustness gate (scripts/race.sh) =="
+    FUZZTIME="${FUZZTIME:-10s}" "$(dirname "$0")/race.sh"
+fi
 
 echo "== guard: gofmt =="
 unformatted=$(gofmt -l .)

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# One-command robustness gate: the tier-1 race sweep over the
+# concurrency-heavy packages, the wire-focused chaos suite under race,
+# and a short native-fuzz smoke over every committed fuzz target (seeds
+# plus FUZZTIME of coverage-guided exploration per target).
+#
+#   scripts/race.sh              # full gate (~a few minutes)
+#   FUZZTIME=0 scripts/race.sh   # skip the fuzz smoke (seeds still run
+#                                # as regular tests in the race sweep)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== guard: go vet =="
+go vet ./...
+
+echo "== race: tier-1 concurrency-heavy packages =="
+go test -race \
+    ./internal/dist/... ./internal/assembly/... ./internal/overlap/... \
+    ./internal/graph/... ./internal/coarsen/... ./internal/hybrid/... \
+    ./internal/partition/... ./internal/checkpoint/...
+
+echo "== race: wire chaos sweep =="
+go test -race -run Wire ./internal/dist/ ./internal/assembly/ ./internal/overlap/
+
+if [ "$FUZZTIME" != "0" ]; then
+    # -fuzz takes exactly one target per invocation.
+    fuzz() {
+        local pkg="$1" target="$2"
+        echo "== fuzz: $pkg $target ($FUZZTIME) =="
+        go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
+    }
+    fuzz ./internal/dist/ FuzzWireReader
+    fuzz ./internal/dist/ FuzzReadFrame
+    fuzz ./internal/assembly/ FuzzWireDecoders
+    fuzz ./internal/overlap/ FuzzWireDecoders
+    fuzz ./internal/checkpoint/ FuzzDecode
+fi
+
+echo "ok"
