@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"focus"
+	"focus/internal/align"
 	"focus/internal/assembly"
 	"focus/internal/coarsen"
 	"focus/internal/debruijn"
@@ -57,7 +59,7 @@ type harness struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|table3|fig7|baselines|graphbench|wirebench|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|table3|fig7|baselines|graphbench|alignbench|wirebench|all")
 		scale      = flag.Float64("scale", 0.35, "data set scale factor (1.0 = ~140kb communities)")
 		coverage   = flag.Float64("coverage", 8, "read coverage")
 		runs       = flag.Int("runs", 3, "repetitions for timed runs (Fig. 4)")
@@ -123,6 +125,7 @@ func main() {
 	run("fig7", h.fig7)
 	run("baselines", h.baselines)
 	run("graphbench", h.graphbench)
+	run("alignbench", h.alignbench)
 	run("wirebench", h.wirebench)
 }
 
@@ -344,7 +347,7 @@ func (h *harness) graphbench() error {
 	}
 	var rows []row
 	bench := func(name string, f func(b *testing.B)) {
-		r := testing.Benchmark(f)
+		r := bestOf3(f)
 		rows = append(rows, row{name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp()})
 		fmt.Printf("  %-26s %12d ns/op %12d B/op %9d allocs/op\n",
 			name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
@@ -466,6 +469,98 @@ func (h *harness) graphbench() error {
 	})
 
 	f, err := os.Create("BENCH_graph.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// alignbench times the banded-NW kernels head to head on the overlap
+// stage's hot-path geometry (100bp window, ~5 substitutions, band 6, and
+// a 90bp suffix-prefix overlap through the full classification path) and
+// writes BENCH_align.json. Samples alternate between the kernels
+// round-robin before taking the per-kernel minimum, so drift in host
+// load biases the comparison as little as possible.
+func (h *harness) alignbench() error {
+	rng := rand.New(rand.NewSource(42))
+	bases := []byte("ACGT")
+	seq := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = bases[rng.Intn(4)]
+		}
+		return s
+	}
+	pa := seq(100)
+	pb := append([]byte(nil), pa...)
+	for i := 0; i < 5; i++ {
+		pb[rng.Intn(len(pb))] = bases[rng.Intn(4)]
+	}
+	oa := seq(150)
+	ob := append(append([]byte(nil), oa[60:]...), seq(60)...)
+	for i := 0; i < 4; i++ {
+		ob[rng.Intn(90)] = bases[rng.Intn(4)]
+	}
+
+	type row struct {
+		Name        string `json:"name"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		BytesPerOp  int64  `json:"b_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	}
+	kernelProbe := func(k align.Kernel) func(b *testing.B) {
+		return func(b *testing.B) {
+			var scr align.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = scr.BandedNWKernel(pa, pb, 6, align.DefaultScoring, k)
+			}
+		}
+	}
+	overlapProbe := func(k align.Kernel) func(b *testing.B) {
+		cfg := align.DefaultConfig()
+		cfg.Kernel = k
+		return func(b *testing.B) {
+			var scr align.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _ = scr.OverlapOnDiagonal(oa, ob, 60, cfg)
+			}
+		}
+	}
+	probes := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"nw_scalar", kernelProbe(align.KernelScalar)},
+		{"nw_bitparallel", kernelProbe(align.KernelBitParallel)},
+		{"overlap_scalar", overlapProbe(align.KernelScalar)},
+		{"overlap_bitparallel", overlapProbe(align.KernelBitParallel)},
+	}
+	fmt.Println("Alignment kernels — scalar vs bit-parallel (100bp, band 6)")
+	best := make([]testing.BenchmarkResult, len(probes))
+	for round := 0; round < 5; round++ {
+		for i, p := range probes {
+			r := testing.Benchmark(p.fn)
+			if round == 0 || r.NsPerOp() < best[i].NsPerOp() {
+				best[i] = r
+			}
+		}
+	}
+	var rows []row
+	for i, p := range probes {
+		r := best[i]
+		rows = append(rows, row{p.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp()})
+		fmt.Printf("  %-26s %12d ns/op %12d B/op %9d allocs/op\n",
+			p.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	fmt.Printf("  nw speedup:      %.2fx\n", float64(rows[0].NsPerOp)/float64(rows[1].NsPerOp))
+	fmt.Printf("  overlap speedup: %.2fx\n", float64(rows[2].NsPerOp)/float64(rows[3].NsPerOp))
+
+	f, err := os.Create("BENCH_align.json")
 	if err != nil {
 		return err
 	}

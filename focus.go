@@ -68,7 +68,10 @@ type Config struct {
 	Assembly assembly.Config
 	// GraphWorkers bounds the worker pools of the graph-construction
 	// stages: the overlap-graph CSR edge merge, coarsening
-	// (matching + contraction) and the hybrid layout search. <= 0 means
+	// (matching + contraction) and the hybrid layout search. 0 means
+	// auto: the internal/par governor picks serial or parallel per stage
+	// invocation from the input size and GOMAXPROCS, so small inputs skip
+	// goroutine fan-out entirely. Explicit counts are still capped at
 	// GOMAXPROCS. Purely a throughput knob — stage outputs are identical
 	// at any value. Per-stage knobs (Coarsen.Workers, Hybrid.Workers)
 	// take precedence when set.

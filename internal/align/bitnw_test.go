@@ -1,0 +1,243 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// alphabets used by the randomized suites: plain bases, bases with the
+// ambiguity byte, and bases with the '#' subset-text separator that the
+// 2-bit wire packing escapes (the kernel must treat both as ordinary
+// bytes that only match themselves).
+var bpAlphabets = [][]byte{
+	[]byte("ACGT"),
+	[]byte("ACGTN"),
+	[]byte("ACGTN#"),
+}
+
+func randSeqFrom(rng *rand.Rand, alpha []byte, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return s
+}
+
+// mutate applies roughly rate substitutions/insertions/deletions to s, so
+// pairs look like real overlap windows (mostly matching, few gaps).
+func mutate(rng *rand.Rand, alpha, s []byte, rate float64) []byte {
+	out := make([]byte, 0, len(s)+8)
+	for _, ch := range s {
+		switch {
+		case rng.Float64() < rate/3: // deletion
+		case rng.Float64() < rate/3: // insertion
+			out = append(out, ch, alpha[rng.Intn(len(alpha))])
+		case rng.Float64() < rate/3: // substitution
+			out = append(out, alpha[rng.Intn(len(alpha))])
+		default:
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+func checkPair(t *testing.T, scr, ref *Scratch, a, b []byte, band int, sc Scoring) {
+	t.Helper()
+	want := ref.bandedNWScalarFull(a, b, band, sc)
+	got := scr.BandedNWKernel(a, b, band, sc, KernelBitParallel)
+	if got != want {
+		t.Fatalf("bit-parallel diverged (band=%d scoring=%+v len=%d/%d):\n got %+v\nwant %+v\n a=%q\n b=%q",
+			band, sc, len(a), len(b), got, want, a, b)
+	}
+}
+
+// bandedNWScalarFull is the scalar kernel behind the public dispatch
+// (band widening + empty-input handling), bypassing kernel selection.
+func (scr *Scratch) bandedNWScalarFull(a, b []byte, band int, sc Scoring) Alignment {
+	return scr.BandedNWKernel(a, b, band, sc, KernelScalar)
+}
+
+// TestBitParallelMatchesScalarRandom: the bit-parallel kernel reproduces
+// the scalar Alignment exactly — score, matches, columns — on random
+// base/N/'#' sequences across lengths 1..300, the full eligible band
+// range, related and unrelated pairs, and both argument orders.
+func TestBitParallelMatchesScalarRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scr, ref Scratch
+	for trial := 0; trial < 4000; trial++ {
+		alpha := bpAlphabets[rng.Intn(len(bpAlphabets))]
+		n := 1 + rng.Intn(300)
+		a := randSeqFrom(rng, alpha, n)
+		var b []byte
+		if rng.Intn(2) == 0 {
+			b = mutate(rng, alpha, a, []float64{0.02, 0.1, 0.3}[rng.Intn(3)])
+			if len(b) == 0 {
+				b = randSeqFrom(rng, alpha, 1+rng.Intn(8))
+			}
+		} else {
+			b = randSeqFrom(rng, alpha, 1+rng.Intn(300))
+		}
+		band := rng.Intn(bpMaxBand + 2) // 0..8: includes one ineligible value
+		checkPair(t, &scr, &ref, a, b, band, DefaultScoring)
+		checkPair(t, &scr, &ref, b, a, band, DefaultScoring)
+	}
+}
+
+// TestBitParallelMatchesScalarScorings sweeps the eligible scoring space
+// (and near-gate corners) at several bands.
+func TestBitParallelMatchesScalarScorings(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var scr, ref Scratch
+	scorings := []Scoring{
+		{1, -1, -2}, // default
+		{1, -2, -1}, // gap cheaper than mismatch: gap-heavy tracebacks
+		{2, -3, -4}, // larger magnitudes
+		{0, -1, -1}, // zero match reward
+		{1, 0, -1},  // free mismatch
+		{2, -8, -3}, // mismatch at the magnitude limit
+		{3, -2, -1}, // high match reward
+		{8, -8, -8}, // all limits (eligible only at band 0)
+		{1, -1, -8}, // gap at the magnitude limit
+		{4, -4, -2}, // near the spread gate at small bands
+	}
+	for _, sc := range scorings {
+		for band := 0; band <= bpMaxBand; band++ {
+			if !bpEligible(band, sc) {
+				continue
+			}
+			for trial := 0; trial < 120; trial++ {
+				alpha := bpAlphabets[trial%len(bpAlphabets)]
+				a := randSeqFrom(rng, alpha, 1+rng.Intn(120))
+				b := mutate(rng, alpha, a, 0.15)
+				if len(b) == 0 {
+					b = []byte{alpha[0]}
+				}
+				checkPair(t, &scr, &ref, a, b, band, sc)
+			}
+		}
+	}
+}
+
+// TestBitParallelBandEdges exercises the geometric corner cases: length
+// differences exactly at/over the band, single-character inputs, and
+// sequences shorter than the band.
+func TestBitParallelBandEdges(t *testing.T) {
+	var scr, ref Scratch
+	rng := rand.New(rand.NewSource(3))
+	for band := 0; band <= bpMaxBand; band++ {
+		for _, nm := range [][2]int{
+			{1, 1}, {1, 2}, {2, 1}, {1, band + 1}, {band + 1, 1},
+			{band, band}, {band + 1, band + 1},
+			{10, 10 + band}, {10 + band, 10},
+			{10, 11 + band}, {11 + band, 10}, // widened band: scalar fallback path
+			{64, 64}, {65, 64}, {63, 64 + band}, {127, 128}, {128, 128}, {129, 128},
+		} {
+			n, m := nm[0], nm[1]
+			if n < 1 || m < 1 {
+				continue
+			}
+			for trial := 0; trial < 10; trial++ {
+				a := randSeqFrom(rng, bpAlphabets[2], n)
+				b := randSeqFrom(rng, bpAlphabets[2], m)
+				checkPair(t, &scr, &ref, a, b, band, DefaultScoring)
+			}
+		}
+	}
+}
+
+// TestBitParallelOverlapOnDiagonal: full overlap classification is
+// identical across kernels, including accept/reject decisions near the
+// thresholds.
+func TestBitParallelOverlapOnDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var scalar, bitp Scratch
+	cfgS := DefaultConfig()
+	cfgS.Kernel = KernelScalar
+	cfgB := DefaultConfig()
+	cfgB.Kernel = KernelBitParallel
+	// Loosen thresholds so random unrelated pairs also produce accepted
+	// records with interesting kinds.
+	for _, minLen := range []int{5, 50} {
+		cfgS.MinLength, cfgB.MinLength = minLen, minLen
+		for trial := 0; trial < 2000; trial++ {
+			alpha := bpAlphabets[rng.Intn(len(bpAlphabets))]
+			a := randSeqFrom(rng, alpha, 20+rng.Intn(200))
+			b := mutate(rng, alpha, a, []float64{0.02, 0.08, 0.25}[rng.Intn(3)])
+			if len(b) == 0 {
+				continue
+			}
+			diag := rng.Intn(len(a)+len(b)) - len(b)
+			ovS, okS := scalar.OverlapOnDiagonal(a, b, diag, cfgS)
+			ovB, okB := bitp.OverlapOnDiagonal(a, b, diag, cfgB)
+			if okS != okB || ovS != ovB {
+				t.Fatalf("overlap diverged at diag=%d: scalar (%+v,%v) vs bit-parallel (%+v,%v)",
+					diag, ovS, okS, ovB, okB)
+			}
+		}
+	}
+}
+
+// TestBitParallelNoFallbackOnDefaultScoring: the range guards must never
+// trip inside the eligible envelope — a trip would silently halve the
+// kernel's speedup on the hot path.
+func TestBitParallelNoFallbackOnDefaultScoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var scr Scratch
+	for trial := 0; trial < 3000; trial++ {
+		a := randSeqFrom(rng, bpAlphabets[1], 1+rng.Intn(250))
+		b := mutate(rng, bpAlphabets[1], a, 0.2)
+		if len(b) == 0 {
+			continue
+		}
+		for band := 0; band <= bpMaxBand; band++ {
+			scr.BandedNWKernel(a, b, band, DefaultScoring, KernelBitParallel)
+		}
+	}
+	if scr.bpFallbacks != 0 {
+		t.Fatalf("bit-parallel kernel fell back %d times on default scoring", scr.bpFallbacks)
+	}
+}
+
+// TestBitParallelZeroAlloc: steady-state bit-parallel calls allocate
+// nothing (Eq masks, adj table and trace masks all live in the Scratch).
+func TestBitParallelZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var scr Scratch
+	a := randSeqFrom(rng, bpAlphabets[1], 150)
+	b := mutate(rng, bpAlphabets[1], a, 0.05)
+	scr.BandedNWKernel(a, b, 6, DefaultScoring, KernelBitParallel) // warm buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		scr.BandedNWKernel(a, b, 6, DefaultScoring, KernelBitParallel)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state bit-parallel BandedNW allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzBitParallelNW cross-checks the kernels on fuzzer-chosen byte
+// strings (any bytes, not just bases) and band/scoring combinations.
+func FuzzBitParallelNW(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGT"), []byte("ACGTACGTAGGT"), 6, 1, -1, -2)
+	f.Add([]byte("AAAA#NNNN"), []byte("AAAANNNN"), 3, 1, -2, -1)
+	f.Add([]byte("A"), []byte("ACGT"), 0, 2, -3, -4)
+	f.Add([]byte("NNNNNNNN"), []byte("N"), 7, 1, -1, -2)
+	f.Fuzz(func(t *testing.T, a, b []byte, band, match, mismatch, gap int) {
+		if len(a) == 0 || len(b) == 0 || len(a) > 400 || len(b) > 400 {
+			return
+		}
+		if band < 0 || band > 16 {
+			return
+		}
+		sc := Scoring{Match: match, Mismatch: mismatch, Gap: gap}
+		if !bpEligible(band, sc) {
+			return
+		}
+		var scr, ref Scratch
+		want := ref.BandedNWKernel(a, b, band, sc, KernelScalar)
+		got := scr.BandedNWKernel(a, b, band, sc, KernelBitParallel)
+		if got != want {
+			t.Fatalf("kernel divergence: got %+v want %+v (band=%d sc=%+v a=%q b=%q)",
+				got, want, band, sc, a, b)
+		}
+	})
+}

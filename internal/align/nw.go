@@ -40,15 +40,32 @@ const (
 	tbLeft // gap in a (consume b[j])
 )
 
-// Scratch holds reusable score/trace buffers for the banded DP so the
-// alignment inner loop performs zero heap allocations steady-state. A
-// Scratch is owned by exactly one goroutine at a time (it is not
-// internally synchronized); the buffers are borrowed by each call and
-// their contents are undefined between calls. The zero value is ready to
-// use and grows on demand.
+// Scratch holds reusable buffers for the banded DP kernels so the
+// alignment inner loop performs zero heap allocations steady-state: the
+// scalar kernel's score/trace arrays, and the bit-parallel kernel's
+// per-query Eq masks, per-scoring add table and per-row direction masks
+// (see bitnw.go). A Scratch is owned by exactly one goroutine at a time
+// (it is not internally synchronized); the buffers are borrowed by each
+// call and their contents are undefined between calls. The zero value is
+// ready to use and grows on demand.
 type Scratch struct {
 	score []int
 	trace []byte
+
+	// Bit-parallel kernel state (bitnw.go).
+	eqBits   []uint64 // 256 rows x eqStride words: per-byte match masks over b
+	eqStride int
+	eqSeen   [4]uint64   // byte-set of the previous b (Eq rows to clear)
+	adjTab   [256]uint64 // matchbit byte -> per-lane diagonal adjustment
+	adjDelta int         // Match-Mismatch the adjTab was built for
+	// Per-row packed traceback masks, 2 words per row: bit 7 of each lane
+	// is "up strictly beats diag", bit 6 "left strictly beats max(diag,up)".
+	bpTB []uint64
+
+	// bpFallbacks counts calls where the bit-parallel kernel bailed out
+	// mid-flight to the scalar path (range-guard trip). Test observability
+	// only; eligible default-scoring inputs never trip the guards.
+	bpFallbacks int
 }
 
 // grow ensures capacity for n DP cells without clearing: every in-band
@@ -75,9 +92,20 @@ func BandedNW(a, b []byte, band int, sc Scoring) Alignment {
 }
 
 // BandedNW is the buffer-reusing variant of the package-level BandedNW:
-// identical results, but the DP score/trace arrays are borrowed from the
-// Scratch, so steady-state calls allocate nothing.
+// identical results, but the DP buffers are borrowed from the Scratch, so
+// steady-state calls allocate nothing. The kernel is selected
+// automatically (KernelAuto): the bit-parallel kernel when the band and
+// scoring are eligible, the scalar DP otherwise — both produce identical
+// Alignments.
 func (scr *Scratch) BandedNW(a, b []byte, band int, sc Scoring) Alignment {
+	return scr.BandedNWKernel(a, b, band, sc, KernelAuto)
+}
+
+// BandedNWKernel is BandedNW with an explicit kernel choice. All kernels
+// return identical Alignments (score, matches, columns — bit-for-bit);
+// the choice is purely a speed knob, and ineligible inputs silently use
+// the scalar kernel.
+func (scr *Scratch) BandedNWKernel(a, b []byte, band int, sc Scoring, k Kernel) Alignment {
 	if band < 0 {
 		band = 0
 	}
@@ -92,6 +120,22 @@ func (scr *Scratch) BandedNW(a, b []byte, band int, sc Scoring) Alignment {
 		// Pure gap alignment.
 		return Alignment{Score: (n + m) * sc.Gap, Matches: 0, Columns: n + m}
 	}
+	if k != KernelScalar && bpEligible(band, sc) {
+		if aln, ok := scr.bandedNWBit(a, b, band, sc); ok {
+			return aln
+		}
+		scr.bpFallbacks++
+	}
+	return scr.bandedNWScalar(a, b, band, sc)
+}
+
+// bandedNWScalar is the cell-by-cell scalar DP. band has already been
+// widened to cover the length difference and n, m >= 1. Its tie-break
+// order — diagonal wins ties, up displaces only when strictly greater,
+// left only when strictly greater than both — is the traceback contract
+// every kernel must reproduce (DESIGN.md §12).
+func (scr *Scratch) bandedNWScalar(a, b []byte, band int, sc Scoring) Alignment {
+	n, m := len(a), len(b)
 	width := 2*band + 1
 	// score[i][c] with c = j - i + band, j in [i-band, i+band]. In this
 	// layout a cell's neighbours sit at fixed offsets: diagonal (i-1,j-1)

@@ -16,11 +16,11 @@ package coarsen
 
 import (
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"focus/internal/graph"
+	"focus/internal/par"
 )
 
 // Options control when coarsening stops.
@@ -129,16 +129,9 @@ func (k edgeKey) greater(o edgeKey) bool {
 // (the serial path, which runs the same rounds without goroutines).
 func HeavyEdgeMatchingPar(g *graph.Graph, seed int64, workers int) []int {
 	n := g.NumNodes()
-	w := workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-		if n < 2048 {
-			w = 1
-		}
-	}
-	if w > n && n > 0 {
-		w = n
-	}
+	// Matching rounds break even at ~2048 nodes per worker; below that the
+	// governor keeps the rounds serial (same code, one shard).
+	w := par.Workers(workers, n, 2048)
 
 	pri := make([]uint64, n)
 	for v := range pri {

@@ -14,31 +14,22 @@
 package graph
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"focus/internal/par"
 )
 
 // parallelMinEdges is the edge count below which building runs serially;
 // goroutine fan-out costs more than it saves on tiny graphs.
 const parallelMinEdges = 4096
 
-// resolveWorkers clamps a requested worker count against the problem
-// size: <= 0 means GOMAXPROCS, where small inputs run serially (goroutine
-// fan-out costs more than it saves). An explicit worker count is honored
-// so tests can force the parallel path on small graphs.
+// resolveWorkers sizes the build pool through the shared governor: <= 0
+// means auto (serial below the edge grain, then one worker per ~grain
+// edges); explicit counts are honored so tests can force the parallel
+// path on small graphs, but still capped at GOMAXPROCS and at size.
 func resolveWorkers(workers, size int) int {
-	w := workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-		if size < parallelMinEdges {
-			return 1
-		}
-	}
-	if w > size && size > 0 {
-		w = size
-	}
-	return w
+	return par.Workers(workers, size, parallelMinEdges)
 }
 
 // parDo runs f(0..parts-1) on parts goroutines and waits for all.

@@ -9,7 +9,6 @@ package hybrid
 
 import (
 	"fmt"
-	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -17,6 +16,7 @@ import (
 	"focus/internal/dna"
 	"focus/internal/graph"
 	"focus/internal/overlap"
+	"focus/internal/par"
 )
 
 // Node is one hybrid-graph node: a best-representative read cluster.
@@ -121,10 +121,7 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 	// per worker), then accepted representatives are committed serially
 	// in cluster order so node numbering — and therefore the whole hybrid
 	// graph — is identical at any worker count.
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := par.Limit(cfg.Workers)
 	scratches := make([]*layoutScratch, workers)
 	scratches[0] = newLayoutScratch(n0, reads, recs, inc, cfg)
 	type layoutResult struct {
@@ -149,10 +146,9 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 			results = make([]layoutResult, len(cands))
 		}
 		results = results[:len(cands)]
-		w := workers
-		if w > len(cands) {
-			w = len(cands)
-		}
+		// A layout test touches a whole cluster; a handful per worker
+		// already pays for the fan-out, so the grain is small.
+		w := par.Workers(cfg.Workers, len(cands), 64)
 		if w <= 1 {
 			for i, members := range cands {
 				node, ok := scratches[0].tryLayout(members, level)

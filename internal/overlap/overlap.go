@@ -13,12 +13,12 @@ package overlap
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"focus/internal/align"
 	"focus/internal/dna"
 	"focus/internal/graph"
+	"focus/internal/par"
 )
 
 // Record is one accepted overlap between reads A and B (indices into the
@@ -157,10 +157,10 @@ func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 	if err := validate(cfg, subsets); err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	// Each subset-pair job indexes/scans a whole subset — heavy enough
+	// that any second job justifies a second worker (grain 1). The
+	// governor also caps explicit counts at GOMAXPROCS.
+	workers := par.Workers(cfg.Workers, subsets*(subsets+1)/2, 1)
 
 	// Assign reads to contiguous subsets.
 	bounds := make([]int, subsets+1)

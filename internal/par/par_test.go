@@ -1,0 +1,80 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+)
+
+// withProcs runs f under a temporary GOMAXPROCS value.
+func withProcs(t *testing.T, p int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func TestWorkersExplicitCappedAtProcs(t *testing.T) {
+	withProcs(t, 2, func() {
+		if got := Workers(8, 1<<20, 1); got != 2 {
+			t.Fatalf("explicit 8 on 2 procs: got %d, want 2", got)
+		}
+		if got := Workers(1, 1<<20, 1); got != 1 {
+			t.Fatalf("explicit 1: got %d, want 1", got)
+		}
+		// Explicit counts are also capped at the problem size.
+		if got := Workers(2, 1, 1); got != 1 {
+			t.Fatalf("explicit 2 over 1 item: got %d, want 1", got)
+		}
+	})
+}
+
+func TestWorkersAutoSingleCPUIsSerial(t *testing.T) {
+	withProcs(t, 1, func() {
+		if got := Workers(0, 1<<30, 1); got != 1 {
+			t.Fatalf("auto on 1 proc: got %d, want 1", got)
+		}
+	})
+}
+
+func TestWorkersAutoGrain(t *testing.T) {
+	withProcs(t, 8, func() {
+		if got := Workers(0, 100, 4096); got != 1 {
+			t.Fatalf("auto below grain: got %d, want 1", got)
+		}
+		if got := Workers(0, 4096, 4096); got != 1 {
+			t.Fatalf("auto at exactly one grain: got %d, want 1", got)
+		}
+		if got := Workers(0, 8192, 4096); got != 2 {
+			t.Fatalf("auto at two grains: got %d, want 2", got)
+		}
+		if got := Workers(0, 1<<30, 4096); got != 8 {
+			t.Fatalf("auto on huge input: got %d, want GOMAXPROCS=8", got)
+		}
+	})
+}
+
+func TestWorkersNeverBelowOne(t *testing.T) {
+	withProcs(t, 4, func() {
+		for _, req := range []int{-1, 0, 1, 100} {
+			for _, size := range []int{0, 1, 10} {
+				if got := Workers(req, size, 0); got < 1 {
+					t.Fatalf("Workers(%d,%d,0) = %d < 1", req, size, got)
+				}
+			}
+		}
+	})
+}
+
+func TestLimit(t *testing.T) {
+	withProcs(t, 3, func() {
+		if got := Limit(0); got != 3 {
+			t.Fatalf("Limit(0) = %d, want 3", got)
+		}
+		if got := Limit(2); got != 2 {
+			t.Fatalf("Limit(2) = %d, want 2", got)
+		}
+		if got := Limit(64); got != 3 {
+			t.Fatalf("Limit(64) = %d, want 3", got)
+		}
+	})
+}

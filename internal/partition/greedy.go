@@ -51,7 +51,7 @@ func DefaultOptions(k int) Options {
 func greedyGrow(g *graph.Graph, labels []int32, region, newLabel int32, opt Options, rng *rand.Rand, sc *klScratch) {
 	nodes := sc.members[:0]
 	for v := range labels {
-		if labels[v] == region {
+		if loadLabel(&labels[v]) == region {
 			nodes = append(nodes, v)
 		}
 	}
@@ -191,7 +191,7 @@ func greedyGrow(g *graph.Graph, labels []int32, region, newLabel int32, opt Opti
 	}
 	for _, v := range nodes {
 		if side[v] == 2 {
-			labels[v] = newLabel
+			storeLabel(&labels[v], newLabel)
 		}
 		side[v] = -1
 	}

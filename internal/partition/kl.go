@@ -58,13 +58,14 @@ func (sc *klScratch) initD(g *graph.Graph, labels []int32, la, lb int32) {
 	sc.members = sc.members[:0]
 	scan := func(lo, hi int, members []int) []int {
 		for v := lo; v < hi; v++ {
-			if labels[v] != la && labels[v] != lb {
+			lv := loadLabel(&labels[v])
+			if lv != la && lv != lb {
 				continue
 			}
 			var e, i int64
 			for _, a := range g.Adj(v) {
-				switch labels[a.To] {
-				case labels[v]:
+				switch loadLabel(&labels[a.To]) {
+				case lv:
 					i += a.W
 				case la, lb:
 					e += a.W
@@ -175,7 +176,7 @@ func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options, sc *klScr
 	sc.initD(g, labels, la, lb)
 	defer sc.release()
 	for _, v := range sc.members {
-		if labels[v] == la {
+		if loadLabel(&labels[v]) == la {
 			sc.qa.Push(v, sc.d[v])
 		} else {
 			sc.qb.Push(v, sc.d[v])
@@ -202,7 +203,8 @@ func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options, sc *klScr
 			break
 		}
 		// Swap and lock.
-		labels[a], labels[b] = lb, la
+		storeLabel(&labels[a], lb)
+		storeLabel(&labels[b], la)
 		qa.Remove(a)
 		qb.Remove(b)
 		// Update D of unlocked nodes adjacent to a or b. Moving a from
@@ -219,7 +221,7 @@ func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options, sc *klScr
 					continue // locked
 				}
 				var delta int64
-				if labels[v] == from {
+				if loadLabel(&labels[v]) == from {
 					delta = 2 * arc.W
 				} else {
 					delta = -2 * arc.W
@@ -255,7 +257,8 @@ func klPass(g *graph.Graph, labels []int32, la, lb int32, opt Options, sc *klScr
 		smax = 0
 	}
 	for i := len(moves) - 1; i >= bestPrefix; i-- {
-		labels[moves[i].a], labels[moves[i].b] = la, lb
+		storeLabel(&labels[moves[i].a], la)
+		storeLabel(&labels[moves[i].b], lb)
 	}
 	return smax
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"focus/internal/graph"
 	"focus/internal/metrics"
+	"focus/internal/par"
 )
 
 // Result is a k-way partitioning of every level of a graph set.
@@ -68,6 +70,9 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 	if procs <= 0 {
 		procs = k/2 + 1
 	}
+	// k/2 regions is the widest concurrent step, but there is no point
+	// holding more region slots than cores.
+	procs = par.Limit(procs)
 	if opt.Balance <= 1 {
 		opt.Balance = 1.03
 	}
@@ -142,6 +147,20 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// loadLabel/storeLabel annotate the cross-region label traffic of one
+// bisection step for the race detector. Disjoint regions share the
+// per-level label arrays: each region's goroutine writes only its own
+// region's entries, but membership scans and KL gain scans read
+// neighbours that another region may be relabeling concurrently. Those
+// reads are decision-stable — a concurrent write flips a foreign label
+// between r' and r'+regions, neither of which the reader matches — but
+// the Go memory model still wants the accesses ordered; atomic
+// load/store of an int32 compiles to a plain move on the supported
+// targets, so this costs nothing.
+func loadLabel(l *int32) int32 { return atomic.LoadInt32(l) }
+
+func storeLabel(l *int32, v int32) { atomic.StoreInt32(l, v) }
+
 // bisectRegion splits region r into labels {r, newLabel} on the coarsest
 // level and projects + refines the split down to level 0. Labels outside
 // the region are never touched, so disjoint regions can run concurrently;
@@ -155,11 +174,11 @@ func bisectRegion(set *graph.Set, levelLabels [][]int32, r, newLabel int32, opt 
 			up := set.Up[i]
 			parentLabels := levelLabels[i+1]
 			for v := range labels {
-				if labels[v] != r {
+				if loadLabel(&labels[v]) != r {
 					continue
 				}
-				if parentLabels[up[v]] == newLabel {
-					labels[v] = newLabel
+				if loadLabel(&parentLabels[up[v]]) == newLabel {
+					storeLabel(&labels[v], newLabel)
 				}
 				// Parent labeled r (or, after earlier refinements, some
 				// other region): node keeps r.
@@ -169,7 +188,7 @@ func bisectRegion(set *graph.Set, levelLabels [][]int32, r, newLabel int32, opt 
 		// coarser levels), start it here.
 		countR, countNew := 0, 0
 		for v := range labels {
-			switch labels[v] {
+			switch loadLabel(&labels[v]) {
 			case r:
 				countR++
 			case newLabel:

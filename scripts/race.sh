@@ -12,6 +12,11 @@ cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 
+# The adaptive governor (internal/par) keeps stage pools serial on a
+# single-CPU host, which would silently skip every parallel code path in
+# the sweep; pin GOMAXPROCS up so the pools actually fan out under race.
+export GOMAXPROCS="${GOMAXPROCS:-4}"
+
 echo "== guard: go vet =="
 go vet ./...
 
@@ -19,7 +24,8 @@ echo "== race: tier-1 concurrency-heavy packages =="
 go test -race \
     ./internal/dist/... ./internal/assembly/... ./internal/overlap/... \
     ./internal/graph/... ./internal/coarsen/... ./internal/hybrid/... \
-    ./internal/partition/... ./internal/checkpoint/...
+    ./internal/partition/... ./internal/checkpoint/... \
+    ./internal/align/... ./internal/par/...
 
 echo "== race: wire chaos sweep =="
 go test -race -run Wire ./internal/dist/ ./internal/assembly/ ./internal/overlap/
@@ -36,6 +42,7 @@ if [ "$FUZZTIME" != "0" ]; then
     fuzz ./internal/assembly/ FuzzWireDecoders
     fuzz ./internal/overlap/ FuzzWireDecoders
     fuzz ./internal/checkpoint/ FuzzDecode
+    fuzz ./internal/align/ FuzzBitParallelNW
 fi
 
 echo "ok"
