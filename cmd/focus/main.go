@@ -2,13 +2,25 @@
 // runs the full Focus pipeline (preprocess, overlap alignment, multilevel
 // + hybrid graph construction, partitioning, distributed trimming and
 // traversal) and writes contigs as FASTA.
+//
+// On SIGINT/SIGTERM the run is canceled gracefully: every stage unwinds
+// at its next grain boundary, in-flight RPCs are severed, and — with
+// -checkpoint-dir set — a best-effort checkpoint of the last completed
+// assembly phase is written so -resume can continue the run. The process
+// then exits with code 3 (interrupted but resumable). A second signal, or
+// a cancel that fails to unwind within -grace, forces an immediate exit
+// with code 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"focus"
 	"focus/internal/assembly"
@@ -18,6 +30,50 @@ import (
 	"focus/internal/polish"
 	"focus/internal/scaffold"
 )
+
+// exitResumable is the exit code of a run interrupted by signal, deadline
+// or watchdog: incomplete, but resumable via -resume when checkpointing
+// is enabled. Distinct from 1 (failure) and 130 (forced kill).
+const exitResumable = 3
+
+var errSignal = fmt.Errorf("focus: interrupted by signal: %w", context.Canceled)
+
+// watchSignals cancels ctx on the first SIGINT/SIGTERM and force-exits on
+// the second (or when the cancel has not unwound within grace). The
+// returned stop func detaches the handler once the run completes.
+func watchSignals(ctx context.Context, grace time.Duration) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(os.Stderr, "focus: %s: canceling run (up to %v); signal again to force exit\n", sig, grace)
+			cancel(errSignal)
+			var timeC <-chan time.Time
+			if grace > 0 {
+				t := time.NewTimer(grace)
+				defer t.Stop()
+				timeC = t.C
+			}
+			select {
+			case <-sigs:
+			case <-timeC:
+				fmt.Fprintln(os.Stderr, "focus: cancel did not unwind in time; forcing exit")
+			case <-done:
+				return
+			}
+			os.Exit(130)
+		case <-done:
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(sigs)
+		close(done)
+		cancel(nil)
+	}
+}
 
 func main() {
 	var (
@@ -50,6 +106,9 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "write crash-recovery checkpoints of the assembly phases to this directory")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every Nth phase boundary (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume the assembly phases from the newest valid checkpoint in -checkpoint-dir")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the whole run; on expiry the run is canceled like SIGINT (0 = unbounded)")
+		watchdog  = flag.Duration("watchdog", 0, "cancel-or-kick window of the assembly progress watchdog: with no task completions for this long, stuck workers are kicked, then the run is canceled (0 = disarmed)")
+		grace     = flag.Duration("grace", 10*time.Second, "unwind budget after SIGINT/SIGTERM before the exit is forced")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -82,6 +141,17 @@ func main() {
 	cfg.Checkpoint = focus.Checkpoint{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
 	if *resume && *ckptDir == "" {
 		fatal(fmt.Errorf("focus: -resume requires -checkpoint-dir"))
+	}
+	sigCtx, stopSignals := watchSignals(context.Background(), *grace)
+	defer stopSignals()
+	cfg.Context = sigCtx
+	cfg.Deadline = *deadline
+	ctx, stopDeadline := cfg.RunContext()
+	defer stopDeadline()
+	cfg.Context = ctx
+	cfg.Watchdog = assembly.WatchdogConfig{Window: *watchdog}
+	if *ckptDir != "" {
+		resumeHint = fmt.Sprintf("focus: resume with -resume -checkpoint-dir %s", *ckptDir)
 	}
 	switch *codec {
 	case "auto":
@@ -227,7 +297,17 @@ func main() {
 	}
 }
 
+// resumeHint, set once checkpointing is configured, is printed when an
+// interrupted run leaves a resumable checkpoint behind.
+var resumeHint string
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "focus:", err)
+	if focus.IsInterrupted(err) {
+		if resumeHint != "" {
+			fmt.Fprintln(os.Stderr, resumeHint)
+		}
+		os.Exit(exitResumable)
+	}
 	os.Exit(1)
 }

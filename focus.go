@@ -19,8 +19,10 @@
 package focus
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log"
 	"time"
 
 	"focus/internal/assembly"
@@ -89,6 +91,64 @@ type Config struct {
 	// Checkpoint configures crash-safe phase-boundary checkpointing of
 	// the distributed assembly phases. The zero value disables it.
 	Checkpoint Checkpoint
+	// Context, when set, bounds the whole run: cancel it and every stage
+	// — local worker pools at their grain boundaries, in-flight RPCs by
+	// severing the connection — unwinds and the pipeline returns the
+	// cancellation cause. nil means the run is unbounded.
+	Context context.Context
+	// Deadline, when positive, is the run's wall-clock budget. The
+	// one-call entry points (Assemble, AssembleOnPool) derive a deadline
+	// context from Context at start; the assembly driver further splits
+	// the remaining time into per-phase budgets weighted by measured
+	// phase cost. Callers driving Stages manually apply it with
+	// RunContext.
+	Deadline time.Duration
+	// Watchdog arms the assembly-phase progress watchdog: if no task
+	// completions are observed for Watchdog.Window, stuck workers are
+	// kicked (connection severed, tasks rescheduled) and, when kicking is
+	// exhausted, the run is canceled with assembly.ErrStalled. The zero
+	// value disarms it.
+	Watchdog assembly.WatchdogConfig
+}
+
+// ErrDeadline is the cancellation cause installed when Config.Deadline
+// expires.
+var ErrDeadline = errors.New("focus: run deadline exceeded")
+
+// RunContext derives the run's root context from cfg: Config.Context (or
+// context.Background) with Config.Deadline applied as an absolute
+// deadline whose cause is ErrDeadline. The returned stop func releases
+// the deadline timer; callers must invoke it when the run ends.
+func (cfg Config) RunContext() (context.Context, context.CancelFunc) {
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Deadline > 0 {
+		return context.WithDeadlineCause(ctx, time.Now().Add(cfg.Deadline), ErrDeadline)
+	}
+	return ctx, func() {}
+}
+
+// IsInterrupted reports whether err is a cancellation outcome — user
+// cancel, run deadline, phase-budget exhaustion, or a watchdog stall —
+// rather than a pipeline failure. An interrupted run with checkpointing
+// enabled leaves a resumable checkpoint behind.
+func IsInterrupted(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrDeadline) ||
+		errors.Is(err, assembly.ErrPhaseBudget) ||
+		errors.Is(err, assembly.ErrStalled)
+}
+
+// ctxErr returns nil while ctx is live and the cancellation cause once it
+// is done; a nil ctx is never done.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return context.Cause(ctx)
 }
 
 // Checkpoint configures durable assembly state: with Dir set, the master
@@ -162,10 +222,16 @@ type Stages struct {
 }
 
 // BuildStages runs the pipeline through hybrid graph construction.
+// With Config.Context set, every stage is cancellation-bounded and the
+// first canceled stage aborts the build with the context's cause.
 func BuildStages(raw []Read, cfg Config) (*Stages, error) {
 	cfg = cfg.applyGraphWorkers()
+	ctx := cfg.Context
 	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
 	step := func(name string, f func() error) error {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return fmt.Errorf("focus: %s: %w", name, cerr)
+		}
 		t0 := time.Now()
 		err := f()
 		s.Timings[name] = time.Since(t0)
@@ -190,27 +256,28 @@ func BuildStages(raw []Read, cfg Config) (*Stages, error) {
 			subsets = 1
 		}
 		var err error
-		s.Records, err = overlap.FindOverlaps(s.Reads, subsets, cfg.Overlap)
+		s.Records, err = overlap.FindOverlapsCtx(ctx, s.Reads, subsets, cfg.Overlap)
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	if err := step("graph", func() error {
 		var err error
-		s.G0, err = overlap.BuildGraphPar(len(s.Reads), s.Records, cfg.GraphWorkers)
+		s.G0, err = overlap.BuildGraphParCtx(ctx, len(s.Reads), s.Records, cfg.GraphWorkers)
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	if err := step("coarsen", func() error {
-		s.MSet = coarsen.Multilevel(s.G0, cfg.Coarsen)
-		return nil
+		var err error
+		s.MSet, err = coarsen.MultilevelCtx(ctx, s.G0, cfg.Coarsen)
+		return err
 	}); err != nil {
 		return nil, err
 	}
 	if err := step("hybrid", func() error {
 		var err error
-		s.Hyb, err = hybrid.Build(s.MSet, s.Reads, s.Records, cfg.Hybrid)
+		s.Hyb, err = hybrid.BuildCtx(ctx, s.MSet, s.Reads, s.Records, cfg.Hybrid)
 		return err
 	}); err != nil {
 		return nil, err
@@ -224,6 +291,7 @@ func BuildStages(raw []Read, cfg Config) (*Stages, error) {
 // identical to BuildStages for the same configuration.
 func BuildStagesOnPool(raw []Read, cfg Config, pool *dist.Pool) (*Stages, error) {
 	cfg = cfg.applyGraphWorkers()
+	ctx := cfg.Context
 	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
 	t0 := time.Now()
 	var err error
@@ -240,22 +308,25 @@ func BuildStagesOnPool(raw []Read, cfg Config, pool *dist.Pool) (*Stages, error)
 		subsets = 1
 	}
 	t0 = time.Now()
-	s.Records, err = overlap.FindOverlapsDistributed(pool, s.Reads, subsets, cfg.Overlap)
+	s.Records, err = overlap.FindOverlapsDistributedCtx(ctx, pool, s.Reads, subsets, cfg.Overlap)
 	s.Timings["overlap"] = time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("focus: overlap: %w", err)
 	}
 	t0 = time.Now()
-	s.G0, err = overlap.BuildGraphPar(len(s.Reads), s.Records, cfg.GraphWorkers)
+	s.G0, err = overlap.BuildGraphParCtx(ctx, len(s.Reads), s.Records, cfg.GraphWorkers)
 	s.Timings["graph"] = time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("focus: graph: %w", err)
 	}
 	t0 = time.Now()
-	s.MSet = coarsen.Multilevel(s.G0, cfg.Coarsen)
+	s.MSet, err = coarsen.MultilevelCtx(ctx, s.G0, cfg.Coarsen)
 	s.Timings["coarsen"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: coarsen: %w", err)
+	}
 	t0 = time.Now()
-	s.Hyb, err = hybrid.Build(s.MSet, s.Reads, s.Records, cfg.Hybrid)
+	s.Hyb, err = hybrid.BuildCtx(ctx, s.MSet, s.Reads, s.Records, cfg.Hybrid)
 	s.Timings["hybrid"] = time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("focus: hybrid: %w", err)
@@ -271,6 +342,7 @@ func BuildStagesOnPool(raw []Read, cfg Config, pool *dist.Pool) (*Stages, error)
 // preprocessed read count.
 func BuildStagesFromRecords(raw []Read, records []overlap.Record, numReads int, cfg Config) (*Stages, error) {
 	cfg = cfg.applyGraphWorkers()
+	ctx := cfg.Context
 	s := &Stages{Cfg: cfg, Timings: map[string]time.Duration{}}
 	t0 := time.Now()
 	var err error
@@ -284,16 +356,19 @@ func BuildStagesFromRecords(raw []Read, records []overlap.Record, numReads int, 
 	}
 	s.Records = records
 	t0 = time.Now()
-	s.G0, err = overlap.BuildGraphPar(len(s.Reads), s.Records, cfg.GraphWorkers)
+	s.G0, err = overlap.BuildGraphParCtx(ctx, len(s.Reads), s.Records, cfg.GraphWorkers)
 	s.Timings["graph"] = time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("focus: graph: %w", err)
 	}
 	t0 = time.Now()
-	s.MSet = coarsen.Multilevel(s.G0, cfg.Coarsen)
+	s.MSet, err = coarsen.MultilevelCtx(ctx, s.G0, cfg.Coarsen)
 	s.Timings["coarsen"] = time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("focus: coarsen: %w", err)
+	}
 	t0 = time.Now()
-	s.Hyb, err = hybrid.Build(s.MSet, s.Reads, s.Records, cfg.Hybrid)
+	s.Hyb, err = hybrid.BuildCtx(ctx, s.MSet, s.Reads, s.Records, cfg.Hybrid)
 	s.Timings["hybrid"] = time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("focus: hybrid: %w", err)
@@ -309,7 +384,7 @@ func (s *Stages) PartitionHybrid(k, procs int, seed int64) (*partition.Result, t
 	opt.Procs = procs
 	opt.Seed = seed
 	t0 := time.Now()
-	res, err := partition.PartitionSet(s.Hyb.Set, opt)
+	res, err := partition.PartitionSetCtx(s.Cfg.Context, s.Hyb.Set, opt)
 	return res, time.Since(t0), err
 }
 
@@ -320,7 +395,7 @@ func (s *Stages) PartitionMultilevel(k, procs int, seed int64) (*partition.Resul
 	opt.Procs = procs
 	opt.Seed = seed
 	t0 := time.Now()
-	res, err := partition.PartitionSet(s.MSet, opt)
+	res, err := partition.PartitionSetCtx(s.Cfg.Context, s.MSet, opt)
 	return res, time.Since(t0), err
 }
 
@@ -425,6 +500,21 @@ func (s *Stages) Assemble(pool *dist.Pool, k, procs int, seed int64) (*AssemblyR
 	if ck.Dir != "" {
 		driver.EnableCheckpoint(assembly.CheckpointConfig{Dir: ck.Dir, Every: ck.Every})
 	}
+	driver.SetContext(s.Cfg.Context)
+	if s.Cfg.Watchdog.Window > 0 {
+		driver.EnableWatchdog(s.Cfg.Watchdog)
+	}
+	// fail finalizes an aborted run: an interrupted run (cancel, deadline,
+	// stall) writes a best-effort checkpoint at the last completed phase
+	// boundary so -resume can pick up where it stopped.
+	fail := func(err error) (*AssemblyResult, error) {
+		if IsInterrupted(err) {
+			if cerr := driver.CheckpointNow(); cerr != nil {
+				log.Printf("focus: %v", cerr)
+			}
+		}
+		return nil, err
+	}
 	out := &AssemblyResult{Labels: labels}
 	var err error
 	t0 := time.Now()
@@ -434,14 +524,14 @@ func (s *Stages) Assemble(pool *dist.Pool, k, procs int, seed int64) (*AssemblyR
 		// allelic branches (their verification alignments fail at the
 		// divergence) and error removal pops the surviving bubbles.
 		if err := driver.TrimTransitive(&out.Trim); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		out.Variants, err = driver.CallVariants(s.Cfg.Variants)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if err := driver.TrimContainment(&out.Trim); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		err = driver.TrimErrors(&out.Trim)
 	} else {
@@ -449,13 +539,13 @@ func (s *Stages) Assemble(pool *dist.Pool, k, procs int, seed int64) (*AssemblyR
 	}
 	out.TrimTime = time.Since(t0)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	t0 = time.Now()
 	out.Paths, out.TraverseTaskTimes, err = driver.TraverseTimed()
 	out.TraverseTime = time.Since(t0)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	out.Contigs = driver.BuildContigs(out.Paths)
 	out.Stats = assembly.ComputeStats(out.Contigs)
@@ -466,6 +556,9 @@ func (s *Stages) Assemble(pool *dist.Pool, k, procs int, seed int64) (*AssemblyR
 // partition into k, trim and traverse on `workers` in-process RPC
 // workers, and return contigs.
 func Assemble(raw []Read, cfg Config, k, workers int) (*AssemblyResult, *Stages, error) {
+	ctx, stop := cfg.RunContext()
+	defer stop()
+	cfg.Context = ctx
 	s, err := BuildStages(raw, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -488,6 +581,9 @@ func Assemble(raw []Read, cfg Config, k, workers int) (*AssemblyResult, *Stages,
 // AssembleOnPool is Assemble against an externally managed pool (e.g. TCP
 // workers started with cmd/focus-worker).
 func AssembleOnPool(raw []Read, cfg Config, k int, pool *dist.Pool) (*AssemblyResult, *Stages, error) {
+	ctx, stop := cfg.RunContext()
+	defer stop()
+	cfg.Context = ctx
 	s, err := BuildStages(raw, cfg)
 	if err != nil {
 		return nil, nil, err

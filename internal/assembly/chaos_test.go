@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"focus/internal/dist"
+	"focus/internal/testutil"
 )
 
 // runOutcome captures everything a full Trim+Traverse+BuildContigs run
@@ -77,6 +78,7 @@ func healthyBaseline(t *testing.T, k int) runOutcome {
 func TestChaosHungWorkerReschedules(t *testing.T) {
 	const k = 4
 	want := healthyBaseline(t, k)
+	defer testutil.NoLeaks(t)
 
 	hang := dist.ChaosConfig{Seed: 3, HangProb: 1, HangFor: 2 * time.Second}
 	pool, err := dist.NewLocalChaosPool(2, NewService, dist.Options{
@@ -116,6 +118,7 @@ func TestChaosHungWorkerReschedules(t *testing.T) {
 func TestChaosAllWorkersDownFallsBackLocal(t *testing.T) {
 	const k = 4
 	want := healthyBaseline(t, k)
+	defer testutil.NoLeaks(t)
 
 	hang := dist.ChaosConfig{Seed: 5, HangProb: 1, HangFor: 2 * time.Second}
 	pool, err := dist.NewLocalChaosPool(2, NewService, dist.Options{
@@ -160,6 +163,7 @@ func TestChaosSweep(t *testing.T) {
 				name = "stateful"
 			}
 			t.Run(name+"/seed", func(t *testing.T) {
+				defer testutil.NoLeaks(t)
 				cfg := dist.ChaosConfig{
 					Seed:        seed,
 					HangProb:    0.05,

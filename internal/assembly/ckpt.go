@@ -158,6 +158,36 @@ func (d *Driver) notePhase(name string) error {
 	if d.ckpt == nil || len(d.donePhases)%d.ckpt.Every != 0 {
 		return nil
 	}
+	if err := d.writeCheckpoint(); err != nil {
+		return fmt.Errorf("assembly: checkpoint after %s: %w", name, err)
+	}
+	return nil
+}
+
+// CheckpointNow writes a best-effort checkpoint of the current
+// phase-boundary state. The master graph only mutates between a phase's
+// return and its notePhase, so whenever the driver is not inside a Trim*
+// call — in particular after a cancellation unwound one — its state IS a
+// phase boundary and is safe to persist. Used by the cancel path so a
+// SIGINT or deadline expiry keeps every completed phase resumable even
+// when CheckpointConfig.Every skipped the latest boundary. A no-op when
+// checkpointing is disabled or no phase has completed (a fresh run
+// resumes as a fresh run).
+func (d *Driver) CheckpointNow() error {
+	if d.ckpt == nil || len(d.donePhases) == 0 {
+		return nil
+	}
+	if err := d.writeCheckpoint(); err != nil {
+		return fmt.Errorf("assembly: checkpoint on cancel: %w", err)
+	}
+	return nil
+}
+
+// writeCheckpoint serializes the driver's phase-boundary state as
+// checkpoint seq len(donePhases). Writing the same seq twice (notePhase
+// already wrote this boundary, then CheckpointNow fired) atomically
+// replaces it with identical content.
+func (d *Driver) writeCheckpoint() error {
 	cs := &CheckpointState{
 		Done:         d.donePhases,
 		Stats:        d.statsMirror,
@@ -168,11 +198,7 @@ func (d *Driver) notePhase(name string) error {
 		Labels:       d.Labels,
 		Graph:        d.G,
 	}
-	seq := len(d.donePhases)
-	if err := checkpoint.Write(d.ckpt.Dir, seq, CheckpointVersion, cs.AppendTo(nil)); err != nil {
-		return fmt.Errorf("assembly: checkpoint after %s: %w", name, err)
-	}
-	return nil
+	return checkpoint.Write(d.ckpt.Dir, len(d.donePhases), CheckpointVersion, cs.AppendTo(nil))
 }
 
 // skipDone consumes a resume marker: true means the named phase completed

@@ -1,6 +1,7 @@
 package assembly
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -11,6 +12,8 @@ import (
 	"time"
 
 	"focus/internal/dist"
+	"focus/internal/metrics"
+	"focus/internal/par"
 )
 
 // Driver is the master process: it owns the hybrid graph, ships each
@@ -53,6 +56,15 @@ type Driver struct {
 	statsMirror    TrimStats
 	variantsMirror []Variant
 
+	// Cancellation state (budget.go / watchdog.go). runCtx bounds the whole
+	// run (nil = unbounded); each phase runs under a derived context whose
+	// deadline is its share of the remaining run budget (costs) and which
+	// the watchdog may cancel on stall. All three are nil unless enabled, so
+	// the default path costs one nil check per phase.
+	runCtx context.Context
+	costs  *metrics.CostModel
+	wd     *WatchdogConfig
+
 	// extractWorkers bounds the parallel subgraph-extraction fan-out (0 =
 	// GOMAXPROCS, 1 = serial; equivalence tests pin both and compare).
 	extractWorkers int
@@ -81,6 +93,25 @@ func (d *Driver) extractor() *extractor {
 // subgraphs builds every partition's wire view in parallel.
 func (d *Driver) subgraphs(parts [][]int32) []Subgraph {
 	return d.extractor().subgraphs(parts, d.extractWorkers)
+}
+
+// subgraphsCtx is subgraphs bounded by ctx: extraction abandons remaining
+// partitions once the context cancels. The caller must check ctx before
+// using the (partial) result.
+func (d *Driver) subgraphsCtx(ctx context.Context, parts [][]int32) []Subgraph {
+	return d.extractor().subgraphsGate(parts, d.extractWorkers, par.GateFor(ctx))
+}
+
+// ctxErr returns ctx's cancellation cause, or nil while it is live (or
+// nil). Driver loops consult it BEFORE classifying a call error: a
+// canceled call looks like a transport failure to the pool, and
+// misreading it would re-host partitions — or worse, complete the run
+// locally — instead of stopping.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return context.Cause(ctx)
 }
 
 // DegradeReason explains why a driver is running phases locally instead
@@ -143,7 +174,7 @@ func (d *Driver) removeNode(v int32) {
 // establishing the initial placement table. Placement goes through the
 // same least-loaded assignment re-hosting uses; with all workers healthy
 // it reduces to the classic round-robin t % Size() map.
-func (d *Driver) ensureLoaded() error {
+func (d *Driver) ensureLoaded(ctx context.Context) error {
 	if d.loaded {
 		return nil
 	}
@@ -155,7 +186,7 @@ func (d *Driver) ensureLoaded() error {
 		d.placement[t] = -1
 		all[t] = t
 	}
-	if err := d.rehostParts(all, false); err != nil {
+	if err := d.rehostParts(ctx, all, false); err != nil {
 		return fmt.Errorf("assembly: loading partitions: %w", err)
 	}
 	// The shipped subgraphs reflect the current graph: nothing pending.
@@ -179,12 +210,15 @@ func (d *Driver) maxRounds() int { return 2*d.Pool.Size() + 3 }
 // Placement and epoch are committed per partition only on Load success;
 // a failed Load leaves the previous placement intact (still valid when
 // the move was elective, retried when the home was lost).
-func (d *Driver) rehostParts(parts []int, logMoves bool) error {
+func (d *Driver) rehostParts(ctx context.Context, parts []int, logMoves bool) error {
 	moving := make(map[int]bool, len(parts))
 	for _, p := range parts {
 		moving[p] = true
 	}
 	for round := 0; len(parts) > 0; round++ {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return fmt.Errorf("assembly: re-hosting %d partition(s): %w", len(parts), cerr)
+		}
 		if round >= d.maxRounds() {
 			return fmt.Errorf("assembly: %d partition(s) still homeless after %d re-host rounds (last partition %d)",
 				len(parts), round, parts[0])
@@ -232,7 +266,7 @@ func (d *Driver) rehostParts(parts []int, logMoves bool) error {
 		for i := range replies {
 			replies[i] = &LoadReply{}
 		}
-		_, errs := d.Pool.ParallelCallsPlaced(len(parts), func(t int) int { return target[t] }, "Load",
+		_, errs := d.Pool.ParallelCallsPlacedCtx(ctx, len(parts), func(t int) int { return target[t] }, "Load",
 			func(t int) interface{} {
 				return &LoadArgs{RunID: d.runID, Sub: subs[t], Cfg: d.Cfg, Epoch: epochs[t]}
 			}, replies)
@@ -246,6 +280,11 @@ func (d *Driver) rehostParts(parts []int, logMoves bool) error {
 					log.Printf("assembly: partition %d re-hosted onto worker %d (epoch %d)", p, target[i], epochs[i])
 				}
 				continue
+			}
+			// Cancellation first: a canceled Load is transport-shaped but
+			// must stop the loop, not elect another target.
+			if cerr := ctxErr(ctx); cerr != nil {
+				return fmt.Errorf("assembly: loading partition %d: %w", p, cerr)
 			}
 			if dist.IsTransportError(err) || IsRehostable(err) {
 				log.Printf("assembly: re-hosting partition %d onto worker %d failed (%v); retrying elsewhere", p, target[i], err)
@@ -265,7 +304,7 @@ func (d *Driver) rehostParts(parts []int, logMoves bool) error {
 // their old placement until the new Load succeeds, so a failed move
 // costs nothing. Called at phase boundaries only — mid-phase the
 // placement table must stay stable under the in-flight calls.
-func (d *Driver) maybeRebalance() {
+func (d *Driver) maybeRebalance(ctx context.Context) {
 	if atomic.SwapInt32(&d.rebalanceFlag, 0) == 0 || !d.loaded {
 		return
 	}
@@ -312,7 +351,7 @@ func (d *Driver) maybeRebalance() {
 		return
 	}
 	log.Printf("assembly: rebalancing %d partition(s) after worker reconnect", len(moves))
-	if err := d.rehostParts(moves, true); err != nil {
+	if err := d.rehostParts(ctx, moves, true); err != nil {
 		// Elective moves that failed keep their old (valid) placement;
 		// truly homeless partitions get re-hosted by the phase loop.
 		log.Printf("assembly: rebalance incomplete (%v); continuing with current placement", err)
@@ -355,17 +394,28 @@ type phaseResult struct {
 // unreachable) the phase degrades to local execution on the master with a
 // logged warning instead of failing the run.
 func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []time.Duration, error) {
+	if cerr := ctxErr(d.runCtx); cerr != nil {
+		return nil, nil, cerr
+	}
+	// Derive this phase's context (its slice of the run deadline, plus the
+	// watchdog's cancel authority) and retire it when the phase ends.
+	ctx, finish := d.phaseContext(phase)
+	defer finish()
 	if d.localOnly {
-		return d.runPhaseLocal(phase, vcfg), nil, nil
+		res, lerr := d.runPhaseLocal(ctx, phase, vcfg)
+		return res, nil, lerr
 	}
 	if d.Cfg.Stateful {
-		return d.runPhaseStateful(phase, vcfg)
+		return d.runPhaseStateful(ctx, phase, vcfg)
 	}
 
 	// Extract every partition's subgraph up front (parallel fan-out): the
 	// scheduler invokes mkArgs from its per-worker runner goroutines, so
 	// extraction state must not be shared lazily through them.
-	subs := d.subgraphs(d.partitionNodes())
+	subs := d.subgraphsCtx(ctx, d.partitionNodes())
+	if cerr := ctxErr(ctx); cerr != nil {
+		return nil, nil, cerr
+	}
 	replies := make([]interface{}, d.K)
 	mk := func(t int) interface{} {
 		if phase == "Variants" {
@@ -385,14 +435,21 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 			replies[i] = &VariantsReply{}
 		}
 	}
-	times, err := d.Pool.ParallelCallsRetry(d.K, phase, mk, replies, d.Cfg.RPCRetries)
+	times, err := d.Pool.ParallelCallsRetryCtx(ctx, d.K, phase, mk, replies, d.Cfg.RPCRetries)
 	if err != nil {
+		// Cancellation is checked before any degradation decision: a cancel
+		// severs every in-flight call, which can empty the healthy set — and
+		// a canceled run must stop, not complete locally.
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, times, cerr
+		}
 		// Graceful degradation: if the pool has no healthy workers left,
 		// the work still fits on the master — subgraph extraction and the
 		// phase scans are the same code the workers run.
 		if errors.Is(err, dist.ErrNoWorkers) || d.Pool.NumHealthy() == 0 {
 			log.Printf("assembly: %s phase: no healthy workers (%v); falling back to local execution", phase, err)
-			return d.runPhaseLocal(phase, vcfg), times, nil
+			res, lerr := d.runPhaseLocal(ctx, phase, vcfg)
+			return res, times, lerr
 		}
 		return nil, times, err
 	}
@@ -423,14 +480,18 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 // delta re-applied to it is an idempotent no-op: every partition computes
 // on identical graph state no matter how many times it was re-hosted,
 // keeping output byte-identical to a fault-free run.
-func (d *Driver) runPhaseStateful(phase string, vcfg VariantConfig) ([]phaseResult, []time.Duration, error) {
-	if err := d.ensureLoaded(); err != nil {
+func (d *Driver) runPhaseStateful(ctx context.Context, phase string, vcfg VariantConfig) ([]phaseResult, []time.Duration, error) {
+	if err := d.ensureLoaded(ctx); err != nil {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, nil, cerr
+		}
 		if d.fallBackStateful(phase, err) {
-			return d.runPhaseLocal(phase, vcfg), nil, nil
+			res, lerr := d.runPhaseLocal(ctx, phase, vcfg)
+			return res, nil, lerr
 		}
 		return nil, nil, err
 	}
-	d.maybeRebalance()
+	d.maybeRebalance(ctx)
 	delta := Delta{RemovedNodes: d.pendingNodes, RemovedEdges: d.pendingEdges}
 	d.pendingNodes, d.pendingEdges = nil, nil
 	results := make([]phaseResult, d.K)
@@ -440,10 +501,14 @@ func (d *Driver) runPhaseStateful(phase string, vcfg VariantConfig) ([]phaseResu
 		pending[t] = t
 	}
 	for round := 0; len(pending) > 0; round++ {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, times, cerr
+		}
 		if round >= d.maxRounds() {
 			err := fmt.Errorf("assembly: %s phase: partition(s) %v still failing after %d re-host rounds", phase, pending, round)
 			if d.fallBackStateful(phase, err) {
-				return d.runPhaseLocal(phase, vcfg), times, nil
+				res, lerr := d.runPhaseLocal(ctx, phase, vcfg)
+				return res, times, lerr
 			}
 			return nil, times, err
 		}
@@ -454,9 +519,13 @@ func (d *Driver) runPhaseStateful(phase string, vcfg VariantConfig) ([]phaseResu
 				homeless = append(homeless, p)
 			}
 		}
-		if err := d.rehostParts(homeless, true); err != nil {
+		if err := d.rehostParts(ctx, homeless, true); err != nil {
+			if cerr := ctxErr(ctx); cerr != nil {
+				return nil, times, cerr
+			}
 			if d.fallBackStateful(phase, err) {
-				return d.runPhaseLocal(phase, vcfg), times, nil
+				res, lerr := d.runPhaseLocal(ctx, phase, vcfg)
+				return res, times, lerr
 			}
 			return nil, times, err
 		}
@@ -468,7 +537,7 @@ func (d *Driver) runPhaseStateful(phase string, vcfg VariantConfig) ([]phaseResu
 		// place/mkArgs read the placement and epoch tables from the
 		// scheduler's goroutines; the driver does not mutate them while the
 		// call is in flight.
-		ptimes, errs := d.Pool.ParallelCallsPlaced(len(batch), func(t int) int { return d.placement[batch[t]] }, "Phase",
+		ptimes, errs := d.Pool.ParallelCallsPlacedCtx(ctx, len(batch), func(t int) int { return d.placement[batch[t]] }, "Phase",
 			func(t int) interface{} {
 				p := batch[t]
 				return &PhaseArgsStateful{RunID: d.runID, Part: int32(p), Phase: phase, Epoch: d.partEpoch[p],
@@ -482,6 +551,12 @@ func (d *Driver) runPhaseStateful(phase string, vcfg VariantConfig) ([]phaseResu
 				pr := replies[i].(*PhaseReplyStateful)
 				results[p] = phaseResult{Edges: pr.Edges, Removal: pr.Removal, Paths: pr.Paths, Variants: pr.Variants}
 				continue
+			}
+			// Cancellation before classification: a severed-by-cancel call is
+			// transport-shaped but must stop the phase, not re-host its
+			// partition.
+			if cerr := ctxErr(ctx); cerr != nil {
+				return nil, times, cerr
 			}
 			if dist.IsTransportError(err) || IsRehostable(err) {
 				log.Printf("assembly: %s phase: partition %d lost on worker %d (%v); re-hosting", phase, p, d.placement[p], err)
@@ -521,9 +596,15 @@ func (d *Driver) fallBackStateful(phase string, err error) bool {
 // identical to what a healthy pool would return. Partition scans fan out
 // over the same bounded pool as subgraph extraction, so degraded mode
 // keeps the workers' parallelism (each result depends only on its own
-// partition — output is identical at any worker count).
-func (d *Driver) runPhaseLocal(phase string, vcfg VariantConfig) []phaseResult {
-	subs := d.subgraphs(d.partitionNodes())
+// partition — output is identical at any worker count). A cancel lands at
+// the next per-partition grain boundary; partial results are discarded
+// and the context's cause is returned.
+func (d *Driver) runPhaseLocal(ctx context.Context, phase string, vcfg VariantConfig) ([]phaseResult, error) {
+	gate := par.GateFor(ctx)
+	subs := d.subgraphsCtx(ctx, d.partitionNodes())
+	if gate.Stopped() {
+		return nil, ctxErr(ctx)
+	}
 	results := make([]phaseResult, d.K)
 	scan := func(t int) {
 		sub := &subs[t]
@@ -549,9 +630,12 @@ func (d *Driver) runPhaseLocal(phase string, vcfg VariantConfig) []phaseResult {
 	}
 	if workers <= 1 {
 		for t := 0; t < d.K; t++ {
+			if gate.Stopped() {
+				return nil, ctxErr(ctx)
+			}
 			scan(t)
 		}
-		return results
+		return results, nil
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -561,7 +645,7 @@ func (d *Driver) runPhaseLocal(phase string, vcfg VariantConfig) []phaseResult {
 			defer wg.Done()
 			for {
 				t := int(atomic.AddInt64(&next, 1))
-				if t >= d.K {
+				if t >= d.K || gate.Stopped() {
 					return
 				}
 				scan(t)
@@ -569,7 +653,10 @@ func (d *Driver) runPhaseLocal(phase string, vcfg VariantConfig) []phaseResult {
 		}()
 	}
 	wg.Wait()
-	return results
+	if gate.Stopped() {
+		return nil, ctxErr(ctx)
+	}
+	return results, nil
 }
 
 // NewDriver validates and assembles a driver. A nil pool is allowed and

@@ -1,9 +1,12 @@
 package assembly
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"focus/internal/par"
 )
 
 // This file is the master's subgraph send path: building each partition's
@@ -116,6 +119,15 @@ func (x *extractor) subgraph(sc *extractScratch, part int32, local []int32) Subg
 // (workers <= 0 means GOMAXPROCS). Each output index depends only on its
 // partition, so the result is identical at any worker count.
 func (x *extractor) subgraphs(parts [][]int32, workers int) []Subgraph {
+	return x.subgraphsGate(parts, workers, nil)
+}
+
+// subgraphsGate is subgraphs with a cancellation gate polled at the
+// per-partition grain boundary: a stopped gate abandons the remaining
+// partitions and returns a partial result (memory-safe — untouched
+// entries are zero Subgraphs), which the caller discards after checking
+// its context. A nil gate is the zero-cost uncancellable path.
+func (x *extractor) subgraphsGate(parts [][]int32, workers int, gate *par.Gate) []Subgraph {
 	k := len(parts)
 	out := make([]Subgraph, k)
 	if workers <= 0 {
@@ -128,6 +140,9 @@ func (x *extractor) subgraphs(parts [][]int32, workers int) []Subgraph {
 		sc := x.get()
 		defer x.put(sc)
 		for t := range parts {
+			if gate.Stopped() {
+				return out
+			}
 			out[t] = x.subgraph(sc, int32(t), parts[t])
 		}
 		return out
@@ -142,7 +157,7 @@ func (x *extractor) subgraphs(parts [][]int32, workers int) []Subgraph {
 			defer x.put(sc)
 			for {
 				t := int(atomic.AddInt64(&next, 1))
-				if t >= k {
+				if t >= k || gate.Stopped() {
 					return
 				}
 				out[t] = x.subgraph(sc, int32(t), parts[t])
@@ -159,6 +174,15 @@ func (x *extractor) subgraphs(parts [][]int32, workers int) []Subgraph {
 // at any worker count — and matches what the Driver ships per phase.
 // Node contigs alias g's contig storage; callers must not mutate them.
 func Subgraphs(g *DiGraph, labels []int32, k, workers int) []Subgraph {
+	subs, _ := SubgraphsCtx(nil, g, labels, k, workers)
+	return subs
+}
+
+// SubgraphsCtx is Subgraphs bounded by ctx: extraction stops at the next
+// per-partition boundary once ctx cancels and the context's cause is
+// returned (the partial result must then be discarded). A nil ctx is the
+// uncancellable path.
+func SubgraphsCtx(ctx context.Context, g *DiGraph, labels []int32, k, workers int) ([]Subgraph, error) {
 	x := &extractor{g: g, labels: labels}
 	parts := make([][]int32, k)
 	for v := 0; v < g.NumNodes(); v++ {
@@ -167,5 +191,9 @@ func Subgraphs(g *DiGraph, labels []int32, k, workers int) []Subgraph {
 			parts[p] = append(parts[p], int32(v))
 		}
 	}
-	return x.subgraphs(parts, workers)
+	subs := x.subgraphsGate(parts, workers, par.GateFor(ctx))
+	if cerr := ctxErr(ctx); cerr != nil {
+		return nil, cerr
+	}
+	return subs, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"focus/internal/dist"
+	"focus/internal/testutil"
 )
 
 // TestRehostAfterPinnedWorkerLoss is the tentpole acceptance test: in the
@@ -18,6 +19,7 @@ import (
 // WITHOUT falling back to local execution — byte-identical to a no-fault
 // baseline.
 func TestRehostAfterPinnedWorkerLoss(t *testing.T) {
+	defer testutil.NoLeaks(t)
 	const k = 4
 	want := healthyBaseline(t, k)
 
@@ -73,6 +75,7 @@ func TestRehostAfterPinnedWorkerLoss(t *testing.T) {
 // baseline output, and the driver records that it degraded by failure, not
 // by choice.
 func TestRehostAllWorkersLostFallsBack(t *testing.T) {
+	defer testutil.NoLeaks(t)
 	const k = 4
 	want := healthyBaseline(t, k)
 
@@ -108,6 +111,7 @@ func TestRehostAllWorkersLostFallsBack(t *testing.T) {
 // the self-healing property: stale placement entries are repaired through
 // the epoch-fenced re-host path, never trusted blindly.
 func TestRebalanceAfterReconnect(t *testing.T) {
+	defer testutil.NoLeaks(t)
 	const k = 4
 	want := healthyBaseline(t, k)
 
@@ -117,7 +121,7 @@ func TestRebalanceAfterReconnect(t *testing.T) {
 	}
 	defer pool.Close()
 	d := chaosPipeline(t, pool, k, true)
-	if err := d.ensureLoaded(); err != nil {
+	if err := d.ensureLoaded(nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -154,6 +158,7 @@ func TestRebalanceAfterReconnect(t *testing.T) {
 // the re-host loop gives up after a bounded number of rounds instead of
 // spinning, and the terminal fallback still completes the run.
 func TestRehostRoundsExhausted(t *testing.T) {
+	defer testutil.NoLeaks(t)
 	const k = 2
 	want := healthyBaseline(t, k)
 

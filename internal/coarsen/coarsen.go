@@ -15,6 +15,7 @@
 package coarsen
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -128,6 +129,14 @@ func (k edgeKey) greater(o edgeKey) bool {
 // (g, seed): identical at any worker count, including workers == 1
 // (the serial path, which runs the same rounds without goroutines).
 func HeavyEdgeMatchingPar(g *graph.Graph, seed int64, workers int) []int {
+	return heavyEdgeMatchingPar(g, seed, workers, nil)
+}
+
+// heavyEdgeMatchingPar is the gate-aware core: the gate is polled at
+// round boundaries (a round is the natural grain — proposals snapshot the
+// matching, so abandoning mid-round would be wasted, not wrong). A
+// stopped gate returns nil; ctx-taking callers turn that into an error.
+func heavyEdgeMatchingPar(g *graph.Graph, seed int64, workers int, gate *par.Gate) []int {
 	n := g.NumNodes()
 	// Matching rounds break even at ~2048 nodes per worker; below that the
 	// governor keeps the rounds serial (same code, one shard).
@@ -186,6 +195,9 @@ func HeavyEdgeMatchingPar(g *graph.Graph, seed int64, workers int) []int {
 	}
 
 	for {
+		if gate.Stopped() {
+			return nil
+		}
 		claimed := 0
 		if w <= 1 {
 			propose(0, n)
@@ -242,6 +254,11 @@ func Contract(g *graph.Graph, match []int) (*graph.Graph, []int) {
 // ContractPar is Contract with an explicit worker count (<= 0 means
 // GOMAXPROCS).
 func ContractPar(g *graph.Graph, match []int, workers int) (*graph.Graph, []int) {
+	coarse, up, _ := contractParCtx(nil, g, match, workers)
+	return coarse, up
+}
+
+func contractParCtx(ctx context.Context, g *graph.Graph, match []int, workers int) (*graph.Graph, []int, error) {
 	n := g.NumNodes()
 	// Coarse ids are assigned in fine-node order: deterministic and
 	// inherently serial, but O(n) and cheap next to the edge merge.
@@ -260,12 +277,25 @@ func ContractPar(g *graph.Graph, match []int, workers int) (*graph.Graph, []int)
 		}
 		next++
 	}
-	return graph.Contract(g, up, next, workers), up
+	coarse, err := graph.ContractCtx(ctx, g, up, next, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return coarse, up, nil
 }
 
 // Multilevel coarsens g0 into a multilevel graph set. Levels[0] is g0.
 // For a fixed Options.Seed the set is identical at any Options.Workers.
 func Multilevel(g0 *graph.Graph, opt Options) *graph.Set {
+	set, _ := MultilevelCtx(nil, g0, opt)
+	return set
+}
+
+// MultilevelCtx is Multilevel bounded by ctx: a cancel abandons the
+// coarsening at the next matching round, contraction chunk, or level
+// boundary and returns the context's cause. A nil ctx never cancels.
+func MultilevelCtx(ctx context.Context, g0 *graph.Graph, opt Options) (*graph.Set, error) {
+	gate := par.GateFor(ctx)
 	if opt.MaxLevels <= 0 {
 		opt.MaxLevels = 1
 	}
@@ -275,8 +305,14 @@ func Multilevel(g0 *graph.Graph, opt Options) *graph.Set {
 		if cur.NumNodes() <= opt.MinNodes {
 			break
 		}
-		match := HeavyEdgeMatchingPar(cur, opt.Seed+int64(level)*1_000_003, opt.Workers)
-		coarse, up := ContractPar(cur, match, opt.Workers)
+		match := heavyEdgeMatchingPar(cur, opt.Seed+int64(level)*1_000_003, opt.Workers, gate)
+		if match == nil {
+			return nil, gate.Err()
+		}
+		coarse, up, err := contractParCtx(ctx, cur, match, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
 		shrink := 1 - float64(coarse.NumNodes())/float64(cur.NumNodes())
 		if shrink < opt.MinShrink {
 			break
@@ -285,7 +321,7 @@ func Multilevel(g0 *graph.Graph, opt Options) *graph.Set {
 		set.Up = append(set.Up, up)
 		cur = coarse
 	}
-	return set
+	return set, nil
 }
 
 // Clusters returns, for each node of the coarsest level reachable through

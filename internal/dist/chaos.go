@@ -54,6 +54,9 @@ type chaosConn struct {
 
 	closeOnce sync.Once
 	closed    chan struct{}
+
+	deadOnce sync.Once
+	dead     chan struct{}
 }
 
 // WrapChaos wraps conn with deterministic fault injection.
@@ -66,7 +69,22 @@ func WrapChaos(conn net.Conn, cfg ChaosConfig) net.Conn {
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		closed: make(chan struct{}),
+		dead:   make(chan struct{}),
 	}
+}
+
+// Read passes through, but a read error (the peer closed or reset the
+// connection) marks the conn dead, releasing any in-progress or future
+// write hang: an rpc server goroutine writing a response into a wedged
+// conn whose client has already hung up must drain promptly, not sleep
+// out the full HangFor per queued response — that is a goroutine leak,
+// not a simulated fault.
+func (c *chaosConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if err != nil {
+		c.deadOnce.Do(func() { close(c.dead) })
+	}
+	return n, err
 }
 
 func (c *chaosConn) Write(b []byte) (int, error) {
@@ -86,6 +104,7 @@ func (c *chaosConn) Write(b []byte) (int, error) {
 	case roll < c.cfg.HangProb:
 		select {
 		case <-c.closed:
+		case <-c.dead:
 		case <-time.After(c.cfg.HangFor):
 		}
 		return 0, errChaosHang

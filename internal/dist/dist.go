@@ -16,6 +16,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,6 +46,9 @@ var (
 	// with) no schedulable workers. Callers use it to fall back to local
 	// execution.
 	ErrNoWorkers = errors.New("dist: no healthy workers")
+	// ErrKicked marks a call severed because a supervisor (the assembly
+	// watchdog) forcibly disconnected the worker mid-call via Pool.Kick.
+	ErrKicked = errors.New("dist: worker kicked")
 )
 
 // Codec selects the wire encoding of a pool's RPC connections.
@@ -163,6 +168,13 @@ type worker struct {
 	fails   int  // consecutive transport failures
 	evicted bool // permanently out of the schedulable set
 	gobOnly bool // sticky CodecAuto downgrade: peer failed the wire handshake
+
+	// In-flight call tracking for the watchdog's stuck-worker detection:
+	// callStart holds the UnixNano start time of the oldest in-flight call
+	// (0 when idle). The pool's one-in-flight-per-worker scheduling makes
+	// the single timestamp exact for phase traffic.
+	inflight  atomic.Int32
+	callStart atomic.Int64
 }
 
 // Pool is a set of workers addressed by index. Worker slots are fixed at
@@ -177,9 +189,20 @@ type Pool struct {
 	hookMu        sync.Mutex
 	reconnectHook func(worker int)
 
+	// completions counts finished worker calls (any outcome). Watchdogs
+	// read it as the pool's progress signal: a stuck phase is one whose
+	// counter stops moving.
+	completions atomic.Int64
+
 	closed    chan struct{}
 	closeOnce sync.Once
-	wg        sync.WaitGroup // reconnect loops
+	closeErr  error
+	// spawnMu orders reconnect-loop spawns against Close: record must not
+	// wg.Add after Close's wg.Wait has begun (a WaitGroup reuse race).
+	// Holding it while closing `closed` gives record an atomic
+	// check-then-Add window.
+	spawnMu sync.Mutex
+	wg      sync.WaitGroup // reconnect loops
 }
 
 func newPool(opt Options) *Pool {
@@ -383,10 +406,59 @@ func (p *Pool) runnableWorkers() []*worker {
 // Call invokes method (without the service prefix) on worker i, honouring
 // Options.CallTimeout.
 func (p *Pool) Call(i int, method string, args, reply interface{}) error {
+	return p.CallCtx(nil, i, method, args, reply)
+}
+
+// CallCtx is Call bounded by ctx: cancellation (or a ctx deadline) severs
+// the in-flight call exactly like ErrCallTimeout does — the connection is
+// closed so the abandoned reply can never be written concurrently with a
+// retry — and the returned error wraps the context's cause. A nil ctx
+// means no bound beyond Options.CallTimeout.
+func (p *Pool) CallCtx(ctx context.Context, i int, method string, args, reply interface{}) error {
 	if i < 0 || i >= len(p.workers) {
 		return fmt.Errorf("dist: worker %d out of range [0,%d)", i, len(p.workers))
 	}
-	return p.callWorker(p.workers[i], method, args, reply)
+	return p.callWorkerCtx(ctx, p.workers[i], method, args, reply)
+}
+
+// Completions returns the total number of finished worker calls (any
+// outcome, including timeouts and severed calls). Watchdogs use it as the
+// pool's progress signal.
+func (p *Pool) Completions() int64 { return p.completions.Load() }
+
+// StuckWorkers returns the ids of workers whose current in-flight call
+// has been running for at least window. The snapshot is advisory — a call
+// can finish between the read and the caller's reaction.
+func (p *Pool) StuckWorkers(window time.Duration) []int {
+	now := time.Now().UnixNano()
+	var ids []int
+	for _, w := range p.workers {
+		if start := w.callStart.Load(); start != 0 && now-start >= int64(window) {
+			ids = append(ids, w.id)
+		}
+	}
+	return ids
+}
+
+// Kick forcibly severs worker i's connection, failing its in-flight call
+// like any transport error: the call unblocks with ErrKicked, the task
+// reschedules (or is re-hosted by a stateful driver), and the worker goes
+// through the usual reconnect/eviction machinery. It is the watchdog's
+// evict-and-rehost escalation. Returns false if the worker had no live
+// connection to sever.
+func (p *Pool) Kick(i int) bool {
+	if i < 0 || i >= len(p.workers) {
+		return false
+	}
+	w := p.workers[i]
+	w.mu.Lock()
+	c := w.client
+	w.mu.Unlock()
+	if c == nil {
+		return false
+	}
+	p.record(w, c, fmt.Errorf("dist: worker %d: %w", i, ErrKicked))
+	return true
 }
 
 // Go invokes method on worker i asynchronously (no deadline; callers that
@@ -408,6 +480,24 @@ func (p *Pool) Go(i int, method string, args, reply interface{}) *rpc.Call {
 // callWorker runs one call on w with the configured deadline and feeds the
 // outcome into the worker's health state.
 func (p *Pool) callWorker(w *worker, method string, args, reply interface{}) error {
+	return p.callWorkerCtx(nil, w, method, args, reply)
+}
+
+// callWorkerCtx is callWorker bounded by an optional context: a canceled
+// (or deadline-expired) ctx severs the in-flight call exactly like a
+// timeout, because a kept connection could still write into the abandoned
+// reply. A nil ctx — or one that can never cancel — costs nothing beyond
+// a nil check on the hot path.
+func (p *Pool) callWorkerCtx(ctx context.Context, w *worker, method string, args, reply interface{}) error {
+	var cdone <-chan struct{}
+	if ctx != nil {
+		if ctx.Err() != nil {
+			// Fail fast without touching the (healthy) connection: no call
+			// went out, so there is nothing to sever and no health event.
+			return fmt.Errorf("dist: %s on worker %d: %w", method, w.id, context.Cause(ctx))
+		}
+		cdone = ctx.Done()
+	}
 	w.mu.Lock()
 	c := w.client
 	w.mu.Unlock()
@@ -415,7 +505,9 @@ func (p *Pool) callWorker(w *worker, method string, args, reply interface{}) err
 		return fmt.Errorf("dist: worker %d: %w", w.id, ErrWorkerDown)
 	}
 	svcMethod := ServiceName + "." + method
-	if p.opt.CallTimeout <= 0 {
+	p.noteCallStart(w)
+	defer p.noteCallEnd(w)
+	if p.opt.CallTimeout <= 0 && cdone == nil {
 		err := c.Call(svcMethod, args, reply)
 		p.record(w, c, err)
 		return err
@@ -427,17 +519,41 @@ func (p *Pool) callWorker(w *worker, method string, args, reply interface{}) err
 		call := c.Go(svcMethod, args, reply, make(chan *rpc.Call, 1))
 		done <- (<-call.Done).Error
 	}()
-	timer := time.NewTimer(p.opt.CallTimeout)
-	defer timer.Stop()
+	var timeC <-chan time.Time
+	if p.opt.CallTimeout > 0 {
+		timer := time.NewTimer(p.opt.CallTimeout)
+		defer timer.Stop()
+		timeC = timer.C
+	}
 	select {
 	case err := <-done:
 		p.record(w, c, err)
 		return err
-	case <-timer.C:
+	case <-timeC:
 		err := fmt.Errorf("dist: %s on worker %d after %v: %w", method, w.id, p.opt.CallTimeout, ErrCallTimeout)
 		p.record(w, c, err)
 		return err
+	case <-cdone:
+		err := fmt.Errorf("dist: %s on worker %d: %w", method, w.id, context.Cause(ctx))
+		p.record(w, c, err)
+		return err
 	}
+}
+
+// noteCallStart/noteCallEnd maintain the per-worker in-flight timestamp
+// (stuck detection) and the pool-wide completion counter (progress
+// detection).
+func (p *Pool) noteCallStart(w *worker) {
+	if w.inflight.Add(1) == 1 {
+		w.callStart.Store(time.Now().UnixNano())
+	}
+}
+
+func (p *Pool) noteCallEnd(w *worker) {
+	if w.inflight.Add(-1) == 0 {
+		w.callStart.Store(0)
+	}
+	p.completions.Add(1)
 }
 
 // IsTransportError reports whether err indicates the worker (or the
@@ -485,7 +601,16 @@ func (p *Pool) record(w *worker, c *rpc.Client, err error) {
 		return
 	}
 	p.opt.Logf("dist: worker %d connection severed (%v); reconnecting in background", w.id, err)
+	// spawnMu orders this spawn against Close: Close holds it while closing
+	// p.closed and only then waits on p.wg, so either we observe the pool
+	// closed here (no spawn), or our wg.Add lands before Close's wg.Wait.
+	p.spawnMu.Lock()
+	if p.isClosed() {
+		p.spawnMu.Unlock()
+		return
+	}
 	p.wg.Add(1)
+	p.spawnMu.Unlock()
 	go p.reconnectLoop(w)
 }
 
@@ -625,22 +750,30 @@ func (p *Pool) isClosed() bool {
 }
 
 // Close shuts down all worker connections (and, for local pools, the
-// worker goroutines with them) and stops background reconnects.
+// worker goroutines with them) and stops background reconnects. It is
+// idempotent: the first call performs the teardown and waits for every
+// background goroutine to exit; later (or concurrent) calls wait for
+// that teardown to finish and return the same error.
 func (p *Pool) Close() error {
-	p.closeOnce.Do(func() { close(p.closed) })
-	var first error
-	for _, w := range p.workers {
-		w.mu.Lock()
-		c := w.client
-		w.client = nil
-		w.evicted = true
-		w.mu.Unlock()
-		if c != nil {
-			if err := c.Close(); err != nil && first == nil {
-				first = err
+	p.closeOnce.Do(func() {
+		// Holding spawnMu across the close orders us against record()'s
+		// reconnect-loop spawns: no wg.Add can land after wg.Wait starts.
+		p.spawnMu.Lock()
+		close(p.closed)
+		p.spawnMu.Unlock()
+		for _, w := range p.workers {
+			w.mu.Lock()
+			c := w.client
+			w.client = nil
+			w.evicted = true
+			w.mu.Unlock()
+			if c != nil {
+				if err := c.Close(); err != nil && p.closeErr == nil {
+					p.closeErr = err
+				}
 			}
 		}
-	}
-	p.wg.Wait()
-	return first
+		p.wg.Wait()
+	})
+	return p.closeErr
 }

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"focus/internal/testutil"
 )
 
 // BlockService wedges Echo while *blocked == 1, simulating a stuck worker
@@ -31,6 +33,7 @@ func (FailService) Echo(args *EchoArgs, reply *EchoReply) error {
 }
 
 func TestCallTimeoutEvicts(t *testing.T) {
+	defer testutil.NoLeaks(t)
 	var blocked int32 = 1
 	p, err := NewLocalPoolOpts(1, func() interface{} { return &BlockService{blocked: &blocked} },
 		Options{CallTimeout: 100 * time.Millisecond, MaxFailures: 1, Logf: t.Logf})
@@ -58,6 +61,7 @@ func TestCallTimeoutEvicts(t *testing.T) {
 }
 
 func TestWorkerReconnectsAfterOutage(t *testing.T) {
+	defer testutil.NoLeaks(t)
 	var blocked int32 = 1
 	p, err := NewLocalPoolOpts(1, func() interface{} { return &BlockService{blocked: &blocked} },
 		Options{
@@ -99,6 +103,7 @@ func TestWorkerReconnectsAfterOutage(t *testing.T) {
 // completes (through the survivor) and the result is correct. The old
 // static t%Size assignment hung half the tasks forever here.
 func TestParallelCallsReschedulesAroundHungWorker(t *testing.T) {
+	defer testutil.NoLeaks(t)
 	hang := ChaosConfig{Seed: 11, HangProb: 1, HangFor: 2 * time.Second}
 	p, err := NewLocalChaosPool(2, func() interface{} { return &EchoService{} },
 		Options{CallTimeout: 150 * time.Millisecond, MaxFailures: 1, Logf: t.Logf},

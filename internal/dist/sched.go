@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -33,7 +34,16 @@ type callOptions struct {
 // after all calls finish. When no schedulable worker exists the error
 // wraps ErrNoWorkers.
 func (p *Pool) ParallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, error) {
-	return p.parallelCalls(tasks, method, mkArgs, replies, callOptions{})
+	return p.parallelCalls(nil, tasks, method, mkArgs, replies, callOptions{})
+}
+
+// ParallelCallsCtx is ParallelCalls bounded by ctx. Cancellation severs
+// every in-flight call (like a per-call timeout) and drains the queue:
+// not-yet-started tasks fail fast without touching the network, and the
+// whole invocation returns promptly with an error wrapping the context's
+// cause. A nil ctx behaves exactly like ParallelCalls.
+func (p *Pool) ParallelCallsCtx(ctx context.Context, tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, error) {
+	return p.parallelCalls(ctx, tasks, method, mkArgs, replies, callOptions{})
 }
 
 // ParallelCallsRetry is ParallelCalls with failover: a task failed by the
@@ -41,7 +51,13 @@ func (p *Pool) ParallelCalls(tasks int, method string, mkArgs func(t int) interf
 // counts. Stateless services (all of assembly's stateless phases) make
 // this safe.
 func (p *Pool) ParallelCallsRetry(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, retries int) ([]time.Duration, error) {
-	return p.parallelCalls(tasks, method, mkArgs, replies, callOptions{retries: retries})
+	return p.parallelCalls(nil, tasks, method, mkArgs, replies, callOptions{retries: retries})
+}
+
+// ParallelCallsRetryCtx is ParallelCallsRetry bounded by ctx (see
+// ParallelCallsCtx for the cancellation semantics).
+func (p *Pool) ParallelCallsRetryCtx(ctx context.Context, tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, retries int) ([]time.Duration, error) {
+	return p.parallelCalls(ctx, tasks, method, mkArgs, replies, callOptions{retries: retries})
 }
 
 // ParallelCallsPinned runs task t on worker t % Size(), the static
@@ -70,6 +86,14 @@ func (p *Pool) ParallelCallsPinned(tasks int, method string, mkArgs func(t int) 
 // caller re-host exactly the partitions that failed instead of abandoning
 // the phase on the first error.
 func (p *Pool) ParallelCallsPlaced(tasks int, place func(t int) int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, []error) {
+	return p.ParallelCallsPlacedCtx(nil, tasks, place, method, mkArgs, replies)
+}
+
+// ParallelCallsPlacedCtx is ParallelCallsPlaced bounded by ctx: canceled
+// tasks fail with an error wrapping the context's cause (a transport-class
+// error, but the caller checks its own ctx before classifying failures, so
+// a canceled run is never misdiagnosed as a lost worker).
+func (p *Pool) ParallelCallsPlacedCtx(ctx context.Context, tasks int, place func(t int) int, method string, mkArgs func(t int) interface{}, replies []interface{}) ([]time.Duration, []error) {
 	var wg sync.WaitGroup
 	errs := make([]error, tasks)
 	times := make([]time.Duration, tasks)
@@ -91,7 +115,7 @@ func (p *Pool) ParallelCallsPlaced(tasks int, place func(t int) int, method stri
 			fresh := newReply(replies[t])
 			locks[w.id].Lock()
 			t0 := time.Now()
-			errs[t] = p.callWorker(w, method, args, fresh)
+			errs[t] = p.callWorkerCtx(ctx, w, method, args, fresh)
 			times[t] = time.Since(t0)
 			locks[w.id].Unlock()
 			if errs[t] == nil {
@@ -103,7 +127,7 @@ func (p *Pool) ParallelCallsPlaced(tasks int, place func(t int) int, method stri
 	return times, errs
 }
 
-func (p *Pool) parallelCalls(tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, opt callOptions) ([]time.Duration, error) {
+func (p *Pool) parallelCalls(ctx context.Context, tasks int, method string, mkArgs func(t int) interface{}, replies []interface{}, opt callOptions) ([]time.Duration, error) {
 	times := make([]time.Duration, tasks)
 	if tasks == 0 {
 		return times, nil
@@ -126,7 +150,7 @@ func (p *Pool) parallelCalls(tasks int, method string, mkArgs func(t int) interf
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			p.runWorker(w, s, method, mkArgs, replies)
+			p.runWorker(ctx, w, s, method, mkArgs, replies)
 		}(w)
 	}
 	wg.Wait()
@@ -139,8 +163,15 @@ func (p *Pool) parallelCalls(tasks int, method string, mkArgs func(t int) interf
 }
 
 // runWorker is one worker's runner: it drains the queue one task at a
-// time until the queue is empty or the worker's connection dies.
-func (p *Pool) runWorker(w *worker, s *sched, method string, mkArgs func(t int) interface{}, replies []interface{}) {
+// time until the queue is empty or the worker's connection dies. No
+// dedicated cancellation watcher is needed: after ctx cancels, every
+// callWorkerCtx fails instantly on its pre-check (a transport-class
+// failure that requeues the task without consuming its retry budget), so
+// the pending queue churns through the runners until every live runner
+// has tried every task and reapUnservable finalizes them with the
+// context's cause — a fast, allocation-light convergence with no
+// goroutine left behind.
+func (p *Pool) runWorker(ctx context.Context, w *worker, s *sched, method string, mkArgs func(t int) interface{}, replies []interface{}) {
 	defer s.detach(w.id)
 	for {
 		tk := s.next(w.id)
@@ -155,7 +186,7 @@ func (p *Pool) runWorker(w *worker, s *sched, method string, mkArgs func(t int) 
 		// on retry, must never touch the caller's reply.
 		fresh := newReply(replies[tk.idx])
 		t0 := time.Now()
-		err := p.callWorker(w, method, tk.args, fresh)
+		err := p.callWorkerCtx(ctx, w, method, tk.args, fresh)
 		d := time.Since(t0)
 		if err == nil {
 			copyReply(replies[tk.idx], fresh)

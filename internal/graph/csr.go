@@ -14,6 +14,7 @@
 package graph
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -80,7 +81,15 @@ func forEdgeRange(shards [][]Edge, lo, hi int, f func(Edge)) {
 	}
 }
 
-func buildCSR(n int, nodeWeight []int64, shards [][]Edge, workers int) *Graph {
+// buildCSR runs the four-stage pipeline, polling the (nil-safe) gate
+// BETWEEN stages and at node-chunk boundaries within the two per-node
+// stages. The between-stage checks are load-bearing for memory safety,
+// not just latency: the scatter indexes an arena sized by the count
+// stage, so a cancel observed mid-count must prevent the scatter from
+// running at all rather than resume it over partial cursors. A stopped
+// gate yields nil; only the ctx-taking wrappers expose that, paired with
+// the context's error.
+func buildCSR(n int, nodeWeight []int64, shards [][]Edge, workers int, gate *par.Gate) *Graph {
 	g := &Graph{nodeWeight: nodeWeight}
 	for _, w := range nodeWeight {
 		g.totalNodeW += w
@@ -116,6 +125,9 @@ func buildCSR(n int, nodeWeight []int64, shards [][]Edge, workers int) *Graph {
 				}
 			})
 		})
+	}
+	if gate.Stopped() {
+		return nil // partial counts: the scatter below must never see them
 	}
 	scratchOff := make([]int32, n+1)
 	for v := 0; v < n; v++ {
@@ -156,17 +168,28 @@ func buildCSR(n int, nodeWeight []int64, shards [][]Edge, workers int) *Graph {
 		})
 	}
 
+	if gate.Stopped() {
+		return nil
+	}
+
 	// Sort each node's segment and merge duplicate neighbours in place.
-	// Nodes are independent, so shards of the node range run in parallel.
+	// Nodes are independent, so shards of the node range run in parallel;
+	// the gate is polled every 256 nodes (the sort is the expensive stage).
 	merged := make([]int32, n+1)
 	parDo(w, func(p int) {
 		lo, hi := splitRange(n, w, p)
 		for v := lo; v < hi; v++ {
+			if v&255 == 0 && gate.Stopped() {
+				return
+			}
 			seg := arena[scratchOff[v]:scratchOff[v+1]]
 			sortArcs(seg)
 			merged[v+1] = int32(dedupeArcs(seg))
 		}
 	})
+	if gate.Stopped() {
+		return nil // partial merged counts: the compaction must not see them
+	}
 	for v := 0; v < n; v++ {
 		merged[v+1] += merged[v]
 	}
@@ -272,6 +295,15 @@ func dedupeArcs(a []Arc) int {
 // between groups merge by weight summation, intra-group edges vanish.
 // The result is identical at any worker count (<= 0 means GOMAXPROCS).
 func Contract(g *Graph, group []int, numGroups, workers int) *Graph {
+	c, _ := ContractCtx(nil, g, group, numGroups, workers)
+	return c
+}
+
+// ContractCtx is Contract bounded by ctx: a cancel abandons the
+// contraction at the next node-chunk boundary and returns the context's
+// cause (the partial result is discarded). A nil ctx never cancels.
+func ContractCtx(ctx context.Context, g *Graph, group []int, numGroups, workers int) (*Graph, error) {
+	gate := par.GateFor(ctx)
 	n := g.NumNodes()
 	w := resolveWorkers(workers, len(g.arcs))
 
@@ -297,7 +329,7 @@ func Contract(g *Graph, group []int, numGroups, workers int) *Graph {
 			}
 		}
 	}
-	return ContractWithWeights(g, group, nw, workers)
+	return contractWithWeights(g, group, nw, workers, gate)
 }
 
 // ContractWithWeights is Contract with the coarse node weights supplied by
@@ -313,6 +345,17 @@ func Contract(g *Graph, group []int, numGroups, workers int) *Graph {
 // output in worker order yields the final CSR arena; the result is
 // identical at any worker count.
 func ContractWithWeights(g *Graph, group []int, nw []int64, workers int) *Graph {
+	c, _ := contractWithWeights(g, group, nw, workers, nil)
+	return c
+}
+
+// ContractWithWeightsCtx is ContractWithWeights bounded by ctx (see
+// ContractCtx).
+func ContractWithWeightsCtx(ctx context.Context, g *Graph, group []int, nw []int64, workers int) (*Graph, error) {
+	return contractWithWeights(g, group, nw, workers, par.GateFor(ctx))
+}
+
+func contractWithWeights(g *Graph, group []int, nw []int64, workers int, gate *par.Gate) (*Graph, error) {
 	n := g.NumNodes()
 	numGroups := len(nw)
 	out := &Graph{nodeWeight: nw}
@@ -321,7 +364,10 @@ func ContractWithWeights(g *Graph, group []int, nw []int64, workers int) *Graph 
 	}
 	out.offsets = make([]int32, numGroups+1)
 	if n == 0 || numGroups == 0 {
-		return out
+		return out, nil
+	}
+	if gate.Stopped() {
+		return nil, gate.Err()
 	}
 	w := resolveWorkers(workers, len(g.arcs))
 
@@ -366,6 +412,9 @@ func ContractWithWeights(g *Graph, group []int, nw []int64, workers int) *Graph 
 		var ne int
 		var wsum int64
 		for c := glo; c < ghi; c++ {
+			if c&255 == 0 && gate.Stopped() {
+				return
+			}
 			touched = touched[:0]
 			for _, v := range members[memberOff[c]:memberOff[c+1]] {
 				for _, a := range g.Adj(int(v)) {
@@ -394,6 +443,9 @@ func ContractWithWeights(g *Graph, group []int, nw []int64, workers int) *Graph 
 		}
 		shards[p] = shard{arcs: buf, edges: ne, weights: wsum}
 	})
+	if gate.Stopped() {
+		return nil, gate.Err() // partial degrees: don't assemble offsets from them
+	}
 
 	for c := 0; c < numGroups; c++ {
 		out.offsets[c+1] = out.offsets[c] + degree[c]
@@ -406,7 +458,7 @@ func ContractWithWeights(g *Graph, group []int, nw []int64, workers int) *Graph 
 		out.totalEdgeW += shards[p].weights
 	}
 	out.arcs = arcs
-	return out
+	return out, nil
 }
 
 // sortInt32s sorts ascending with an allocation-free quicksort (insertion

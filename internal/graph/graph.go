@@ -11,8 +11,11 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"focus/internal/par"
 )
 
 // Arc is one directed half of an undirected weighted edge.
@@ -159,7 +162,19 @@ func (b *Builder) Build() *Graph { return b.BuildPar(0) }
 // BuildPar is Build with an explicit worker count (<= 0 means
 // GOMAXPROCS). The output is byte-identical for every worker count.
 func (b *Builder) BuildPar(workers int) *Graph {
-	return buildCSR(b.n, b.nodeWeight, [][]Edge{b.edges}, workers)
+	return buildCSR(b.n, b.nodeWeight, [][]Edge{b.edges}, workers, nil)
+}
+
+// BuildParCtx is BuildPar bounded by ctx: a cancel abandons the build at
+// the next pipeline-stage or node-chunk boundary and returns the
+// context's cause. A nil ctx never cancels.
+func (b *Builder) BuildParCtx(ctx context.Context, workers int) (*Graph, error) {
+	gate := par.GateFor(ctx)
+	g := buildCSR(b.n, b.nodeWeight, [][]Edge{b.edges}, workers, gate)
+	if g == nil {
+		return nil, gate.Err()
+	}
+	return g, nil
 }
 
 // BuildMapMerge is the pre-CSR reference implementation of Build: a
@@ -218,7 +233,17 @@ func (b *Builder) BuildMapMerge() *Graph {
 // from concurrent emitters; the result depends only on the multiset of
 // edges, not on sharding or worker count.
 func FromEdges(n int, nodeWeight []int64, shards [][]Edge, workers int) *Graph {
-	return buildCSR(n, nodeWeight, shards, workers)
+	return buildCSR(n, nodeWeight, shards, workers, nil)
+}
+
+// FromEdgesCtx is FromEdges bounded by ctx (see BuildParCtx).
+func FromEdgesCtx(ctx context.Context, n int, nodeWeight []int64, shards [][]Edge, workers int) (*Graph, error) {
+	gate := par.GateFor(ctx)
+	g := buildCSR(n, nodeWeight, shards, workers, gate)
+	if g == nil {
+		return nil, gate.Err()
+	}
+	return g, nil
 }
 
 // Set is a coarsening hierarchy: Levels[0] is the finest graph and

@@ -8,6 +8,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -73,6 +74,14 @@ func DefaultConfig() Config { return Config{PosTolerance: 5, RequireOverlap: 65}
 // and assembles the hybrid graph set. reads are the preprocessed reads
 // backing G0 (= mset.Levels[0]); recs are the overlap records.
 func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config) (*Hybrid, error) {
+	return BuildCtx(nil, mset, reads, recs, cfg)
+}
+
+// BuildCtx is Build bounded by ctx: a cancel abandons the layout sweep at
+// the next per-cluster boundary (and the contractions at their chunk
+// boundaries) and returns the context's cause. A nil ctx never cancels.
+func BuildCtx(ctx context.Context, mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config) (*Hybrid, error) {
+	gate := par.GateFor(ctx)
 	if err := mset.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,6 +160,9 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 		w := par.Workers(cfg.Workers, len(cands), 64)
 		if w <= 1 {
 			for i, members := range cands {
+				if gate.Stopped() {
+					return nil, gate.Err()
+				}
 				node, ok := scratches[0].tryLayout(members, level)
 				results[i] = layoutResult{node, ok}
 			}
@@ -166,7 +178,7 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 					defer wg.Done()
 					for {
 						i := int(atomic.AddInt64(&next, 1)) - 1
-						if i >= len(cands) {
+						if i >= len(cands) || gate.Stopped() {
 							return
 						}
 						node, ok := sc.tryLayout(cands[i], level)
@@ -175,6 +187,9 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 				}(scratches[p])
 			}
 			wg.Wait()
+			if gate.Stopped() {
+				return nil, gate.Err()
+			}
 		}
 		for i, members := range cands {
 			if !results[i].ok {
@@ -200,12 +215,16 @@ func Build(mset *graph.Set, reads []dna.Read, recs []overlap.Record, cfg Config)
 	for i, n := range h.Nodes {
 		nw[i] = int64(len(n.Members))
 	}
-	h.G = graph.ContractWithWeights(g0, h.RepOf, nw, workers)
+	var err error
+	h.G, err = graph.ContractWithWeightsCtx(ctx, g0, h.RepOf, nw, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	// Hybrid graph set: at level i, nodes of Gi whose cluster belongs to a
 	// representative chosen at level >= i collapse into that
 	// representative; the rest stay as themselves (paper Fig. 1B).
-	set, err := buildHybridSet(mset, assignAt, h, workers)
+	set, err := buildHybridSet(ctx, mset, assignAt, h, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +243,7 @@ func clustersAt(assign []int, numNodes int) [][]int {
 
 // buildHybridSet contracts every multilevel level by the representative
 // assignment to produce the hybrid set and its up-maps.
-func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid, workers int) (*graph.Set, error) {
+func buildHybridSet(ctx context.Context, mset *graph.Set, assignAt [][]int, h *Hybrid, workers int) (*graph.Set, error) {
 	levels := len(mset.Levels)
 	set := &graph.Set{}
 	// groupOf[i][v] = hybrid-set node of level-i node v; sizes[i] = count.
@@ -284,7 +303,11 @@ func buildHybridSet(mset *graph.Set, assignAt [][]int, h *Hybrid, workers int) (
 		groupOf[i] = group
 		// Contract level i by group: weights sum within groups, crossing
 		// edges merge, all on the bounded worker pool.
-		set.Levels = append(set.Levels, graph.Contract(gi, group, next, workers))
+		ci, err := graph.ContractCtx(ctx, gi, group, next, workers)
+		if err != nil {
+			return nil, err
+		}
+		set.Levels = append(set.Levels, ci)
 	}
 	// Up-maps: follow any G0 member through the next level's grouping.
 	for i := 0; i+1 < levels; i++ {

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// CostModel estimates the relative cost of named pipeline phases so a
+// run-wide deadline can be split into per-phase budgets. Each phase keeps
+// an exponentially-weighted moving average of its observed durations;
+// until a phase has been observed at least once, its caller-supplied
+// prior weight stands in. Weights are relative — only ratios matter when
+// splitting a deadline — so priors and observations mix freely: a phase
+// with observations contributes its EWMA in seconds, one without
+// contributes prior × (mean observed seconds per prior unit), falling
+// back to the raw prior when nothing has been observed yet.
+type CostModel struct {
+	mu     sync.Mutex
+	alpha  float64
+	priors map[string]float64
+	ewma   map[string]float64 // seconds
+}
+
+// NewCostModel builds a model from prior weights (arbitrary positive
+// units, e.g. {"Transitive": 3, "Paths": 1}). Phases missing from priors
+// default to weight 1. alpha is the EWMA smoothing factor in (0,1]; 0
+// selects the default 0.5 (recent runs dominate — assembly phase costs
+// shift with graph size, not history).
+func NewCostModel(priors map[string]float64, alpha float64) *CostModel {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	p := make(map[string]float64, len(priors))
+	for k, v := range priors {
+		if v > 0 {
+			p[k] = v
+		}
+	}
+	return &CostModel{alpha: alpha, priors: p, ewma: make(map[string]float64)}
+}
+
+// Observe feeds one measured phase duration into the model.
+func (m *CostModel) Observe(phase string, d time.Duration) {
+	if m == nil || d < 0 {
+		return
+	}
+	s := d.Seconds()
+	m.mu.Lock()
+	if prev, ok := m.ewma[phase]; ok {
+		m.ewma[phase] = m.alpha*s + (1-m.alpha)*prev
+	} else {
+		m.ewma[phase] = s
+	}
+	m.mu.Unlock()
+}
+
+// Weight returns the phase's current relative cost: its EWMA if observed,
+// otherwise its prior scaled to the observed phases' unit cost (so a
+// never-observed phase with prior 3 is budgeted like three average prior
+// units of measured work, not three seconds).
+func (m *CostModel) Weight(phase string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.weightLocked(phase)
+}
+
+func (m *CostModel) weightLocked(phase string) float64 {
+	if s, ok := m.ewma[phase]; ok {
+		return s
+	}
+	prior := m.priors[phase]
+	if prior <= 0 {
+		prior = 1
+	}
+	return prior * m.secondsPerUnitLocked()
+}
+
+// secondsPerUnitLocked estimates how many measured seconds one prior unit
+// is worth, from the phases that have both a prior and observations.
+// With no observations at all it returns 1: budgets then split purely by
+// prior ratio, which is all that matters.
+func (m *CostModel) secondsPerUnitLocked() float64 {
+	var sumSec, sumUnits float64
+	for phase, s := range m.ewma {
+		prior := m.priors[phase]
+		if prior <= 0 {
+			prior = 1
+		}
+		sumSec += s
+		sumUnits += prior
+	}
+	if sumUnits == 0 || sumSec == 0 {
+		return 1
+	}
+	return sumSec / sumUnits
+}
+
+// Split divides a remaining time budget across the named phases in
+// proportion to their weights. The shares sum to remaining (modulo
+// rounding); a non-positive remaining yields all-zero shares.
+func (m *CostModel) Split(remaining time.Duration, phases []string) []time.Duration {
+	out := make([]time.Duration, len(phases))
+	if m == nil || remaining <= 0 || len(phases) == 0 {
+		return out
+	}
+	m.mu.Lock()
+	weights := make([]float64, len(phases))
+	var total float64
+	for i, ph := range phases {
+		weights[i] = m.weightLocked(ph)
+		total += weights[i]
+	}
+	m.mu.Unlock()
+	if total <= 0 {
+		// Degenerate: split evenly.
+		for i := range out {
+			out[i] = remaining / time.Duration(len(phases))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = time.Duration(float64(remaining) * weights[i] / total)
+	}
+	return out
+}

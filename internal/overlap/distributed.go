@@ -1,6 +1,7 @@
 package overlap
 
 import (
+	"context"
 	"errors"
 	"log"
 	"sort"
@@ -53,6 +54,13 @@ func AlignPair(args *AlignPairArgs) []Record {
 // round-robined over the worker pool. It produces exactly the records of
 // the local version for the same subset count.
 func FindOverlapsDistributed(pool *dist.Pool, reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
+	return FindOverlapsDistributedCtx(nil, pool, reads, subsets, cfg)
+}
+
+// FindOverlapsDistributedCtx is FindOverlapsDistributed bounded by ctx:
+// a cancel severs the in-flight RPCs and returns the context's cause. A
+// nil ctx never cancels.
+func FindOverlapsDistributedCtx(ctx context.Context, pool *dist.Pool, reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 	if err := validate(cfg, subsets); err != nil {
 		return nil, err
 	}
@@ -80,18 +88,24 @@ func FindOverlapsDistributed(pool *dist.Pool, reads []dna.Read, subsets int, cfg
 	for i := range replies {
 		replies[i] = &AlignPairReply{}
 	}
-	_, err := pool.ParallelCallsRetry(len(jobs), "AlignPair", func(t int) interface{} {
+	_, err := pool.ParallelCallsRetryCtx(ctx, len(jobs), "AlignPair", func(t int) interface{} {
 		qIDs, qSeqs := slice(jobs[t].q)
 		rIDs, rSeqs := slice(jobs[t].r)
 		return &AlignPairArgs{RefIDs: rIDs, RefSeqs: rSeqs, QueryIDs: qIDs, QuerySeqs: qSeqs, Cfg: cfg}
 	}, replies, cfg.RPCRetries)
 	if err != nil {
+		// A canceled run must surface the cancellation, not degrade: the
+		// severed RPCs classify as transport errors and would otherwise
+		// trip the no-healthy-workers fallback below.
+		if ctx != nil && ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		// Graceful degradation: with no healthy workers left the jobs
 		// still fit on the master, which runs the identical alignment
 		// code with local goroutines.
 		if errors.Is(err, dist.ErrNoWorkers) || pool.NumHealthy() == 0 {
 			log.Printf("overlap: distributed alignment: no healthy workers (%v); falling back to local execution", err)
-			return FindOverlaps(reads, subsets, cfg)
+			return FindOverlapsCtx(ctx, reads, subsets, cfg)
 		}
 		return nil, err
 	}

@@ -12,6 +12,7 @@
 package overlap
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -154,6 +155,15 @@ func (sc *scratch) nextQuery() {
 // subset pairs in parallel. Records are canonicalized (A < B) and
 // deduplicated, and returned sorted by (A, B).
 func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
+	return FindOverlapsCtx(nil, reads, subsets, cfg)
+}
+
+// FindOverlapsCtx is FindOverlaps bounded by ctx: a cancel abandons the
+// sweep at the next query boundary in every worker (the workers keep
+// draining the job channel so the feeder never blocks) and returns the
+// context's cause. A nil ctx never cancels.
+func FindOverlapsCtx(ctx context.Context, reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
+	gate := par.GateFor(ctx)
 	if err := validate(cfg, subsets); err != nil {
 		return nil, err
 	}
@@ -192,10 +202,17 @@ func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 			defer iwg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if gate.Stopped() {
+				return
+			}
 			indexes[s] = buildRefIndex(subSeqs[s], subIDs[s], cfg)
 		}(s)
 	}
 	iwg.Wait()
+	// A skipped index build leaves a nil index the pair jobs would probe.
+	if gate.Stopped() {
+		return nil, gate.Err()
+	}
 
 	type pair struct{ q, r int }
 	jobs := make([]pair, 0, subsets*(subsets+1)/2)
@@ -214,8 +231,11 @@ func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 			defer wg.Done()
 			sc := new(scratch) // worker-owned; never shared
 			for jid := range jobCh {
+				if gate.Stopped() {
+					continue // keep draining so the feeder never blocks
+				}
 				j := jobs[jid]
-				recs := alignQueries(subIDs[j.q], subSeqs[j.q], indexes[j.r], cfg, sc)
+				recs := alignQueriesGate(subIDs[j.q], subSeqs[j.q], indexes[j.r], cfg, sc, gate)
 				out := make([]Record, len(recs))
 				copy(out, recs)
 				results[jid] = out
@@ -227,6 +247,9 @@ func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 	}
 	close(jobCh)
 	wg.Wait()
+	if gate.Stopped() {
+		return nil, gate.Err()
+	}
 
 	return mergeRecords(results), nil
 }
@@ -251,12 +274,22 @@ func validate(cfg Config, subsets int) error {
 // scratch and is only valid until the scratch's next job: callers that
 // retain it must copy.
 func alignQueries(queryIDs []int32, querySeqs [][]byte, ref refIndex, cfg Config, sc *scratch) []Record {
+	return alignQueriesGate(queryIDs, querySeqs, ref, cfg, sc, nil)
+}
+
+// alignQueriesGate is the gate-aware core: the gate is polled once per
+// query (a query's seed scan + alignments is the natural grain). A stopped
+// gate returns the partial staging, which the ctx-taking caller discards.
+func alignQueriesGate(queryIDs []int32, querySeqs [][]byte, ref refIndex, cfg Config, sc *scratch, gate *par.Gate) []Record {
 	if cfg.Step <= 0 {
 		cfg.Step = 1
 	}
 	sc.reset(ref.numReads())
 	sc.records = sc.records[:0]
 	for qi2, qi := range queryIDs {
+		if gate.Stopped() {
+			return sc.records
+		}
 		qseq := querySeqs[qi2]
 		sc.nextQuery()
 		selected := seedOffsets(sc, qseq, cfg) // nil for SeedStep
@@ -378,4 +411,17 @@ func BuildGraphPar(numReads int, records []Record, workers int) (*graph.Graph, e
 		}
 	}
 	return b.BuildPar(workers), nil
+}
+
+// BuildGraphParCtx is BuildGraphPar bounded by ctx: the CSR edge merge
+// bails at its next pipeline-stage or chunk boundary on cancel and the
+// context's cause is returned. A nil ctx never cancels.
+func BuildGraphParCtx(ctx context.Context, numReads int, records []Record, workers int) (*graph.Graph, error) {
+	b := graph.NewBuilder(numReads)
+	for _, r := range records {
+		if err := b.AddEdge(int(r.A), int(r.B), int64(r.Len)); err != nil {
+			return nil, err
+		}
+	}
+	return b.BuildParCtx(ctx, workers)
 }

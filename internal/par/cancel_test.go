@@ -1,0 +1,49 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestGateNil: the zero-cost cases — nil ctx, uncancellable ctx, nil gate
+// — never stop and report no error.
+func TestGateNil(t *testing.T) {
+	var g *Gate
+	if g.Stopped() {
+		t.Fatal("nil gate reports Stopped")
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("nil gate Err = %v", err)
+	}
+	if GateFor(nil) != nil {
+		t.Fatal("GateFor(nil) != nil")
+	}
+	if GateFor(context.Background()) != nil {
+		t.Fatal("GateFor(Background) != nil (uncancellable ctx should be free)")
+	}
+}
+
+// TestGateStopReportsCause: a live gate is not stopped; after cancel it
+// stops and Err returns the cancellation cause, not bare context.Canceled.
+func TestGateStopReportsCause(t *testing.T) {
+	cause := errors.New("stop the pools")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	g := GateFor(ctx)
+	if g == nil {
+		t.Fatal("GateFor(cancellable ctx) = nil")
+	}
+	if g.Stopped() {
+		t.Fatal("gate stopped before cancel")
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("live gate Err = %v", err)
+	}
+	cancel(cause)
+	if !g.Stopped() {
+		t.Fatal("gate not stopped after cancel")
+	}
+	if err := g.Err(); !errors.Is(err, cause) {
+		t.Fatalf("stopped gate Err = %v, want cause %v", err, cause)
+	}
+}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -52,6 +53,15 @@ func (r *Result) Labels() []int32 { return r.LevelLabels[0] }
 // 2^i regions of step i in parallel, bounded by opt.Procs), and finally
 // every level is independently refined by the global k-way KL heuristic.
 func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
+	return PartitionSetCtx(nil, set, opt)
+}
+
+// PartitionSetCtx is PartitionSet bounded by ctx: a cancel abandons the
+// bisection at the next region or step boundary (regions already running
+// finish their current region — a region is the task grain) and returns
+// the context's cause. A nil ctx never cancels.
+func PartitionSetCtx(ctx context.Context, set *graph.Set, opt Options) (*Result, error) {
+	gate := par.GateFor(ctx)
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,6 +119,9 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				if gate.Stopped() {
+					return
+				}
 				newLabel := r + regions
 				rng := rand.New(rand.NewSource(opt.Seed + int64(step)*1000 + int64(r)))
 				sc := scratches.Get().(*klScratch)
@@ -120,6 +133,11 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 			}(r)
 		}
 		wg.Wait()
+		// Steps are barriers: later steps bisect the regions earlier steps
+		// created, so a cancel must not proceed with a half-split step.
+		if gate.Stopped() {
+			return nil, gate.Err()
+		}
 		res.StepTaskTimes = append(res.StepTaskTimes, taskTimes)
 	}
 
@@ -137,12 +155,18 @@ func PartitionSet(set *graph.Set, opt Options) (*Result, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				if gate.Stopped() {
+					return
+				}
 				t0 := time.Now()
 				KWayRefine(set.Levels[i], res.LevelLabels[i], k, kwOpt)
 				res.KWayTimes[i] = time.Since(t0)
 			}(i)
 		}
 		wg.Wait()
+		if gate.Stopped() {
+			return nil, gate.Err()
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,110 @@
+// Package testutil holds tiny hand-rolled test helpers shared by the
+// concurrency suites. Its main export is NoLeaks, a goroutine-leak
+// checker in the spirit of goleak but without the dependency: it
+// snapshots all goroutine stacks, filters the runtime's and the test
+// harness's own goroutines, and fails the test if anything else is still
+// alive after a settle window.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleWindow bounds how long NoLeaks waits for in-flight goroutines to
+// drain before declaring a leak. It must exceed the longest bounded hang
+// the chaos transport injects (HangFor is 2s in the chaos suites): a
+// goroutine parked in a chaos-induced write is released by conn close or
+// hang expiry, whichever comes first, and is then not a leak.
+const settleWindow = 5 * time.Second
+
+// ignoredStacks are substrings of goroutine stack traces that mark
+// always-running goroutines outside the code under test: the testing
+// harness, runtime service goroutines, and the process-wide signal
+// handler. Everything else alive at NoLeaks time is a leak — including
+// stdlib goroutines like net/rpc client readers, which our code is
+// responsible for shutting down.
+var ignoredStacks = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.(*F).Fuzz(",
+	"testing.runFuzzing(",
+	"testing.runFuzzTests(",
+	"runtime.goexit0(",
+	"runtime.MHeap_Scavenger(",
+	"runtime.ensureSigM(",
+	"os/signal.signal_recv(",
+	"os/signal.loop(",
+	"runtime.ReadTrace(",
+	"signal.Notify",
+	"runtime/trace.Start",
+	"created by runtime.gc",
+	"created by runtime/trace",
+	"focus/internal/testutil.stacks(", // this checker's own goroutine
+}
+
+// NoLeaks fails t if goroutines created during the test are still
+// running once the test body finishes. Use it as the FIRST deferred call
+// so it runs LAST, after the deferred pool/server Close calls:
+//
+//	defer testutil.NoLeaks(t)
+//	pool := ...
+//	defer pool.Close()
+//
+// Goroutines that are merely slow to unwind get settleWindow to drain;
+// whatever survives it is reported with its full stack.
+func NoLeaks(t testing.TB) {
+	t.Helper()
+	deadline := time.Now().Add(settleWindow)
+	var leaked []string
+	for {
+		leaked = interestingStacks()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("testutil: %d leaked goroutine(s) after %v settle:\n\n%s",
+		len(leaked), settleWindow, strings.Join(leaked, "\n\n"))
+}
+
+// interestingStacks returns the stack of every live goroutine not on the
+// ignore list. The first stanza (the calling goroutine) is dropped.
+func interestingStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	stanzas := strings.Split(string(buf), "\n\n")
+	var out []string
+	for i, s := range stanzas {
+		if i == 0 { // the goroutine running NoLeaks itself
+			continue
+		}
+		if s == "" || ignored(s) {
+			continue
+		}
+		out = append(out, strings.TrimSpace(s))
+	}
+	return out
+}
+
+func ignored(stack string) bool {
+	for _, pat := range ignoredStacks {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}

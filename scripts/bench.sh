@@ -81,6 +81,40 @@ EOF
 echo "== alignbench (BENCH_align.json) =="
 go run ./cmd/focus-bench -exp alignbench
 
+# Same spirit as the graph check: the bit-parallel kernel must not lose
+# to the scalar one it replaced on the hot path — a regression here means
+# kernel-selection plumbing (or per-item cancellation polling) grew
+# overhead the governor can't hide.
+echo "== regression check: bitparallel vs scalar =="
+python3 - <<'EOF'
+import json, os, sys
+
+tol = float(os.environ.get("BENCH_TOLERANCE", "0.10"))
+fresh = {e["name"]: e["ns_per_op"] for e in json.load(open("BENCH_align.json"))}
+
+bad = []
+for name, ns in sorted(fresh.items()):
+    if not name.endswith("_scalar"):
+        continue
+    sibling = name[: -len("_scalar")] + "_bitparallel"
+    if sibling not in fresh:
+        continue
+    ratio = fresh[sibling] / ns
+    mark = "FAIL" if ratio > 1 + tol else "ok"
+    print(f"  {sibling:24s} {ratio:5.2f}x of {name} [{mark}]")
+    if ratio > 1 + tol:
+        bad.append((sibling, ratio))
+
+if bad:
+    msg = ", ".join(f"{n} ({r:.2f}x)" for n, r in bad)
+    if os.environ.get("BENCH_ALLOW_REGRESSION", "0") == "1":
+        print(f"WARNING: bitparallel slower than scalar: {msg}")
+    else:
+        print(f"FAIL: bitparallel slower than scalar: {msg}", file=sys.stderr)
+        print("      (BENCH_ALLOW_REGRESSION=1 to override)", file=sys.stderr)
+        sys.exit(1)
+EOF
+
 echo "== wirebench (BENCH_wire.json) =="
 go run ./cmd/focus-bench -exp wirebench
 

@@ -30,6 +30,14 @@ go test -race \
 echo "== race: wire chaos sweep =="
 go test -race -run Wire ./internal/dist/ ./internal/assembly/ ./internal/overlap/
 
+# Cancellation sweep: cancel-at-arbitrary-points across both protocols,
+# watchdog kick/escalate, phase budgets, pool Close/Kick lifecycles and
+# the facade signal/deadline paths (the root package is not part of the
+# tier-1 race list above, so the facade tests run here).
+echo "== race: cancellation chaos sweep =="
+go test -race -run 'Cancel|Watchdog|Budget|Kick|Gate|Close|Deadline' \
+    ./ ./internal/dist/ ./internal/assembly/ ./internal/par/
+
 if [ "$FUZZTIME" != "0" ]; then
     # -fuzz takes exactly one target per invocation.
     fuzz() {
