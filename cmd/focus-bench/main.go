@@ -35,6 +35,7 @@ import (
 	"focus/internal/coarsen"
 	"focus/internal/debruijn"
 	"focus/internal/dist"
+	"focus/internal/dna"
 	"focus/internal/eval"
 	"focus/internal/graph"
 	"focus/internal/greedyasm"
@@ -59,7 +60,7 @@ type harness struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|table3|fig7|baselines|graphbench|alignbench|wirebench|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|table3|fig7|baselines|graphbench|alignbench|overlapbench|wirebench|all")
 		scale      = flag.Float64("scale", 0.35, "data set scale factor (1.0 = ~140kb communities)")
 		coverage   = flag.Float64("coverage", 8, "read coverage")
 		runs       = flag.Int("runs", 3, "repetitions for timed runs (Fig. 4)")
@@ -126,6 +127,7 @@ func main() {
 	run("baselines", h.baselines)
 	run("graphbench", h.graphbench)
 	run("alignbench", h.alignbench)
+	run("overlapbench", h.overlapbench)
 	run("wirebench", h.wirebench)
 }
 
@@ -561,6 +563,151 @@ func (h *harness) alignbench() error {
 	fmt.Printf("  overlap speedup: %.2fx\n", float64(rows[2].NsPerOp)/float64(rows[3].NsPerOp))
 
 	f, err := os.Create("BENCH_align.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// overlapbench times candidate generation and end-to-end overlap
+// discovery for the k-mer-table probe engine vs the sparse-matrix SpGEMM
+// engine on a repeat-heavy read set (a high-copy interspersed repeat
+// whose seeds all cross the MaxOccur threshold), the workload where
+// per-seed masked binary-search probes dominate the table path. Both
+// engines are checked to produce identical surviving-candidate totals
+// and identical overlap records before anything is timed, so the
+// comparison is apples-to-apples by construction. Samples alternate
+// between the engines round-robin before taking the per-probe minimum
+// (same discipline as alignbench), and a spmat serial-vs-parallel pair
+// feeds the governor regression gate in scripts/bench.sh. Results land
+// in BENCH_overlap.json.
+func (h *harness) overlapbench() error {
+	// Repeat-heavy data set: 96 copies of a 600 bp repeat interspersed
+	// with 600 bp of unique sequence, tiled into error-free 100 bp reads
+	// at 2.5x coverage, probed with dense seeding (Step=1, the all-k-mer
+	// regime of the SpGEMM literature). Every repeat k-mer occurs far above MaxOccur=64
+	// even when the reads are split across 3 subsets. (Kept identical to
+	// repeatHeavyReads in the overlap package's benchmarks.)
+	rng := rand.New(rand.NewSource(11))
+	bases := []byte("ACGT")
+	seq := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = bases[rng.Intn(4)]
+		}
+		return s
+	}
+	repeat := seq(600)
+	var genome []byte
+	for i := 0; i < 96; i++ {
+		genome = append(genome, seq(600)...)
+		genome = append(genome, repeat...)
+	}
+	var reads []dna.Read
+	for pos := 0; pos+100 <= len(genome); pos += 40 {
+		reads = append(reads, dna.Read{ID: "r", Seq: append([]byte(nil), genome[pos:pos+100]...)})
+	}
+	const subsets = 3
+
+	probeCfg := overlap.DefaultConfig()
+	probeCfg.Step = 1
+	spmatCfg := probeCfg
+	spmatCfg.Engine = overlap.EngineSpGEMM
+
+	// Equivalence gate before timing: identical candidate totals and
+	// byte-identical records, or the numbers below are meaningless.
+	nProbe, err := overlap.CountCandidates(reads, subsets, probeCfg)
+	if err != nil {
+		return err
+	}
+	nSpmat, err := overlap.CountCandidates(reads, subsets, spmatCfg)
+	if err != nil {
+		return err
+	}
+	if nProbe != nSpmat || nProbe == 0 {
+		return fmt.Errorf("overlapbench: candidate totals diverge: probe=%d spmat=%d", nProbe, nSpmat)
+	}
+	recProbe, err := overlap.FindOverlaps(reads, subsets, probeCfg)
+	if err != nil {
+		return err
+	}
+	recSpmat, err := overlap.FindOverlaps(reads, subsets, spmatCfg)
+	if err != nil {
+		return err
+	}
+	if len(recProbe) != len(recSpmat) {
+		return fmt.Errorf("overlapbench: record counts diverge: probe=%d spmat=%d", len(recProbe), len(recSpmat))
+	}
+	for i := range recProbe {
+		if recProbe[i] != recSpmat[i] {
+			return fmt.Errorf("overlapbench: record %d diverges between engines", i)
+		}
+	}
+	fmt.Printf("Overlap engines — k-mer-table probe vs SpGEMM (%d reads, %d subsets, %d candidates, %d records)\n",
+		len(reads), subsets, nProbe, len(recProbe))
+
+	candgen := func(cfg overlap.Config) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := overlap.CountCandidates(reads, subsets, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	e2e := func(cfg overlap.Config) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := overlap.FindOverlaps(reads, subsets, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	spmatSerial := spmatCfg
+	spmatSerial.Workers = 1
+	probes := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"overlap_candgen_kmertable", candgen(probeCfg)},
+		{"overlap_candgen_spmat", candgen(spmatCfg)},
+		{"overlap_e2e_kmertable", e2e(probeCfg)},
+		{"overlap_e2e_spmat", e2e(spmatCfg)},
+		{"overlap_spmat_serial", candgen(spmatSerial)},
+		{"overlap_spmat_parallel", candgen(spmatCfg)},
+	}
+	best := make([]testing.BenchmarkResult, len(probes))
+	for round := 0; round < 5; round++ {
+		for i, p := range probes {
+			r := testing.Benchmark(p.fn)
+			if round == 0 || r.NsPerOp() < best[i].NsPerOp() {
+				best[i] = r
+			}
+		}
+	}
+	type row struct {
+		Name        string `json:"name"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		BytesPerOp  int64  `json:"b_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	}
+	var rows []row
+	for i, p := range probes {
+		r := best[i]
+		rows = append(rows, row{p.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp()})
+		fmt.Printf("  %-26s %12d ns/op %12d B/op %9d allocs/op\n",
+			p.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	fmt.Printf("  candgen speedup: %.2fx\n", float64(rows[0].NsPerOp)/float64(rows[1].NsPerOp))
+	fmt.Printf("  e2e speedup:     %.2fx\n", float64(rows[2].NsPerOp)/float64(rows[3].NsPerOp))
+
+	f, err := os.Create("BENCH_overlap.json")
 	if err != nil {
 		return err
 	}

@@ -102,6 +102,7 @@ func main() {
 		retries   = flag.Int("rpc-retries", 0, "failover retries per task after application-level worker errors (stateless protocols only)")
 		callTO    = flag.Duration("call-timeout", 0, "per-RPC deadline; a worker exceeding it is disconnected and its task rescheduled (0 = no deadline)")
 		maxFails  = flag.Int("max-worker-failures", 0, "consecutive transport failures before a worker is permanently evicted (0 = default 3)")
+		ovlEngine = flag.String("overlap-engine", "kmer-table", "overlap candidate engine: kmer-table (seed index), suffix-array (seed index), or spmat (sparse matrix product); all produce identical records")
 		codec     = flag.String("codec", "auto", "RPC wire codec: auto (binary, falling back to gob per worker), binary (required), or gob")
 		ckptDir   = flag.String("checkpoint-dir", "", "write crash-recovery checkpoints of the assembly phases to this directory")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every Nth phase boundary (with -checkpoint-dir)")
@@ -152,6 +153,16 @@ func main() {
 	cfg.Watchdog = assembly.WatchdogConfig{Window: *watchdog}
 	if *ckptDir != "" {
 		resumeHint = fmt.Sprintf("focus: resume with -resume -checkpoint-dir %s", *ckptDir)
+	}
+	switch *ovlEngine {
+	case "kmer-table":
+		cfg.Overlap.Engine, cfg.Overlap.Indexing = focus.EngineSeedIndex, focus.IndexKmerTable
+	case "suffix-array":
+		cfg.Overlap.Engine, cfg.Overlap.Indexing = focus.EngineSeedIndex, focus.IndexSuffixArray
+	case "spmat":
+		cfg.Overlap.Engine = focus.EngineSpGEMM
+	default:
+		fatal(fmt.Errorf("focus: unknown -overlap-engine %q (kmer-table|suffix-array|spmat)", *ovlEngine))
 	}
 	switch *codec {
 	case "auto":

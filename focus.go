@@ -58,6 +58,22 @@ const (
 	IndexSuffixArray = overlap.IndexSuffixArray
 )
 
+// Engine selects the overlap-stage candidate-generation engine
+// (re-exported so API users outside the module can set
+// Config.Overlap.Engine). All engines produce byte-identical overlap
+// records.
+type Engine = overlap.Engine
+
+const (
+	// EngineSeedIndex is the default per-probe seed-index engine (the
+	// structure is picked by Config.Overlap.Indexing).
+	EngineSeedIndex = overlap.EngineSeedIndex
+	// EngineSpGEMM derives candidate pairs as a masked sparse
+	// matrix product over the read-by-k-mer matrix (internal/spmat) —
+	// faster candidate generation on repeat-heavy inputs.
+	EngineSpGEMM = overlap.EngineSpGEMM
+)
+
 // Config bundles the per-stage configurations.
 type Config struct {
 	Preprocess preprocess.Config

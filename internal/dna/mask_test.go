@@ -1,0 +1,23 @@
+package dna
+
+import "testing"
+
+func TestRepeatMaskedBoundary(t *testing.T) {
+	cases := []struct {
+		occ, cap int
+		want     bool
+	}{
+		{0, 4, false},
+		{3, 4, false},
+		{4, 4, false}, // exactly at the cap is kept
+		{5, 4, true},  // strictly above is masked
+		{1000, 4, true},
+		{1000, 0, false},  // cap 0 disables masking
+		{1000, -1, false}, // negative caps disable masking too
+	}
+	for _, c := range cases {
+		if got := RepeatMasked(c.occ, c.cap); got != c.want {
+			t.Fatalf("RepeatMasked(%d, %d) = %v, want %v", c.occ, c.cap, got, c.want)
+		}
+	}
+}

@@ -41,6 +41,9 @@ var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
 // AlignPair executes one job (the worker half; assembly.Service exposes
 // it over RPC).
 func AlignPair(args *AlignPairArgs) []Record {
+	if args.Cfg.Engine == EngineSpGEMM {
+		return alignPairSpmat(args)
+	}
 	ref := buildRefIndex(args.RefSeqs, args.RefIDs, args.Cfg)
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)

@@ -156,7 +156,7 @@ func (ix *kmerIndex) seedHits(km dna.Kmer, maxOccur int, _ *scratch) ([]seedHit,
 		return nil, false
 	}
 	a, b := ix.start[lo], ix.start[lo+1]
-	if maxOccur > 0 && int(b-a) > maxOccur {
+	if dna.RepeatMasked(int(b-a), maxOccur) {
 		return nil, true
 	}
 	return ix.posts[a:b], false
@@ -208,7 +208,7 @@ func (ix *saIndex) seedHits(km dna.Kmer, maxOccur int, sc *scratch) ([]seedHit, 
 		maxHits = maxOccur + 1
 	}
 	positions := ix.sa.Lookup(sc.pat, maxHits)
-	if maxOccur > 0 && len(positions) > maxOccur {
+	if dna.RepeatMasked(len(positions), maxOccur) {
 		return nil, true
 	}
 	sc.saHits = sc.saHits[:0]

@@ -103,3 +103,38 @@ func seedOffsets(sc *scratch, seq []byte, cfg Config) []int {
 	}
 	return appendMinimizerOffsets(sc, seq, cfg.K, w)
 }
+
+// forEachSeed invokes fn for every sampled seed k-mer of one query read —
+// the single definition of query-side sampling (Step grid or minimizers)
+// shared by the seed-index probe loop and the spmat matrix builder, so
+// both engines sample provably identical (k-mer, offset) sets. sc stages
+// the minimizer buffers; a cfg.Step <= 0 is treated as 1.
+func forEachSeed(sc *scratch, seq []byte, cfg Config, fn func(km dna.Kmer, off int)) {
+	step := cfg.Step
+	if step <= 0 {
+		step = 1
+	}
+	selected := seedOffsets(sc, seq, cfg) // nil for SeedStep
+	si := 0
+	it := dna.NewKmerIter(seq, cfg.K)
+	next := 0
+	for {
+		km, off, ok := it.Next()
+		if !ok {
+			return
+		}
+		if selected != nil {
+			if si == len(selected) {
+				return
+			}
+			if off != selected[si] {
+				continue
+			}
+			si++
+		} else if off < next {
+			continue
+		}
+		next = off + step
+		fn(km, off)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"focus/internal/align"
 	"focus/internal/dna"
@@ -61,6 +62,38 @@ func (ix Indexing) String() string {
 	return fmt.Sprintf("Indexing(%d)", uint8(ix))
 }
 
+// Engine selects the candidate-generation strategy of the overlap stage.
+// Both engines feed the same banded-alignment verification and produce
+// byte-identical final records (the cross-engine equivalence suite pins
+// this); they differ in how candidate read pairs are discovered.
+type Engine uint8
+
+const (
+	// EngineSeedIndex (the default) probes a per-subset seed index
+	// (Config.Indexing selects the structure) once per sampled query
+	// k-mer and accumulates hits per candidate read.
+	EngineSeedIndex Engine = iota
+	// EngineSpGEMM builds the read-by-k-mer sparse matrix of each subset
+	// and derives candidates as a masked sparse product A·Aᵀ
+	// (internal/spmat): repeat-heavy columns are pruned once at build
+	// time, per-job dictionary joins replace per-probe binary searches,
+	// and the multiply semiring accumulates hit counts and modal
+	// diagonals in one pass — faster candidate generation on
+	// repeat-heavy inputs (see BENCH_overlap.json).
+	EngineSpGEMM
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineSeedIndex:
+		return "seed-index"
+	case EngineSpGEMM:
+		return "spmat"
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
 // Config controls overlap detection.
 type Config struct {
 	K           int // seed k-mer length
@@ -74,8 +107,12 @@ type Config struct {
 	Seeding    Seeding
 	MinimizerW int // minimizer window in k-mers (default 8)
 	// Indexing selects the reference seed index; both modes return
-	// identical overlap records (the k-mer table is faster).
+	// identical overlap records (the k-mer table is faster). Ignored by
+	// EngineSpGEMM, which has its own candidate structure.
 	Indexing Indexing
+	// Engine selects the candidate-generation strategy; all engines
+	// return identical overlap records.
+	Engine Engine
 	// RPCRetries is the per-job failover budget of the distributed mode:
 	// a job failed by a worker at the application level is retried on up
 	// to this many other workers before the error counts. Ignored by the
@@ -117,6 +154,11 @@ type scratch struct {
 	seedOffs []int     // minimizer seeding: selected offsets buffer
 
 	records []Record // per-job output staging (caller copies)
+
+	// countOnly short-circuits the alignment: surviving candidates are
+	// tallied into candTotal instead of verified (CountCandidates).
+	countOnly bool
+	candTotal int64
 }
 
 // candState accumulates seed evidence for one reference read against the
@@ -163,24 +205,47 @@ func FindOverlaps(reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
 // draining the job channel so the feeder never blocks) and returns the
 // context's cause. A nil ctx never cancels.
 func FindOverlapsCtx(ctx context.Context, reads []dna.Read, subsets int, cfg Config) ([]Record, error) {
-	gate := par.GateFor(ctx)
 	if err := validate(cfg, subsets); err != nil {
 		return nil, err
 	}
-	// Each subset-pair job indexes/scans a whole subset — heavy enough
-	// that any second job justifies a second worker (grain 1). The
-	// governor also caps explicit counts at GOMAXPROCS.
-	workers := par.Workers(cfg.Workers, subsets*(subsets+1)/2, 1)
+	if cfg.Engine == EngineSpGEMM {
+		recs, _, err := findOverlapsSpmat(ctx, reads, subsets, cfg, false)
+		return recs, err
+	}
+	recs, _, err := findOverlapsProbe(ctx, reads, subsets, cfg, false)
+	return recs, err
+}
 
-	// Assign reads to contiguous subsets.
+// CountCandidates runs only the candidate-generation half of the overlap
+// stage — seed sampling, index/matrix build, repeat masking, hit
+// accumulation with modal-diagonal consensus, and the MinKmerHits filter;
+// everything up to but excluding alignment verification — and returns the
+// number of candidate pairs the configured engine would verify. All
+// engines produce the same total for the same configuration; the
+// overlapbench harness times this to compare candidate-generation
+// throughput in isolation.
+func CountCandidates(reads []dna.Read, subsets int, cfg Config) (int64, error) {
+	if err := validate(cfg, subsets); err != nil {
+		return 0, err
+	}
+	if cfg.Engine == EngineSpGEMM {
+		_, n, err := findOverlapsSpmat(nil, reads, subsets, cfg, true)
+		return n, err
+	}
+	_, n, err := findOverlapsProbe(nil, reads, subsets, cfg, true)
+	return n, err
+}
+
+// splitSubsets assigns reads to contiguous subsets, returning per-subset
+// global-id and sequence slices (shared by the query side of the pair
+// jobs and by the index/matrix builders of both engines).
+func splitSubsets(reads []dna.Read, subsets int) (subIDs [][]int32, subSeqs [][][]byte) {
 	bounds := make([]int, subsets+1)
 	for i := 0; i <= subsets; i++ {
 		bounds[i] = i * len(reads) / subsets
 	}
-	// Per-subset id/sequence slices, shared by the query side of the pair
-	// jobs and by the index builders.
-	subIDs := make([][]int32, subsets)
-	subSeqs := make([][][]byte, subsets)
+	subIDs = make([][]int32, subsets)
+	subSeqs = make([][][]byte, subsets)
 	for s := 0; s < subsets; s++ {
 		n := bounds[s+1] - bounds[s]
 		ids := make([]int32, n)
@@ -191,6 +256,20 @@ func FindOverlapsCtx(ctx context.Context, reads []dna.Read, subsets int, cfg Con
 		}
 		subIDs[s], subSeqs[s] = ids, seqs
 	}
+	return subIDs, subSeqs
+}
+
+// findOverlapsProbe is the seed-index engine: one index per reference
+// subset, queries probe it per sampled k-mer. countOnly skips alignment
+// verification and returns only the surviving-candidate total.
+func findOverlapsProbe(ctx context.Context, reads []dna.Read, subsets int, cfg Config, countOnly bool) ([]Record, int64, error) {
+	gate := par.GateFor(ctx)
+	// Each subset-pair job indexes/scans a whole subset — heavy enough
+	// that any second job justifies a second worker (grain 1). The
+	// governor also caps explicit counts at GOMAXPROCS.
+	workers := par.Workers(cfg.Workers, subsets*(subsets+1)/2, 1)
+
+	subIDs, subSeqs := splitSubsets(reads, subsets)
 
 	// Build one index per subset (reused across pair jobs).
 	indexes := make([]refIndex, subsets)
@@ -211,7 +290,7 @@ func FindOverlapsCtx(ctx context.Context, reads []dna.Read, subsets int, cfg Con
 	iwg.Wait()
 	// A skipped index build leaves a nil index the pair jobs would probe.
 	if gate.Stopped() {
-		return nil, gate.Err()
+		return nil, 0, gate.Err()
 	}
 
 	type pair struct{ q, r int }
@@ -222,6 +301,7 @@ func FindOverlapsCtx(ctx context.Context, reads []dna.Read, subsets int, cfg Con
 		}
 	}
 
+	var candTotal int64
 	results := make([][]Record, len(jobs))
 	var wg sync.WaitGroup
 	jobCh := make(chan int)
@@ -230,6 +310,7 @@ func FindOverlapsCtx(ctx context.Context, reads []dna.Read, subsets int, cfg Con
 		go func() {
 			defer wg.Done()
 			sc := new(scratch) // worker-owned; never shared
+			sc.countOnly = countOnly
 			for jid := range jobCh {
 				if gate.Stopped() {
 					continue // keep draining so the feeder never blocks
@@ -240,6 +321,7 @@ func FindOverlapsCtx(ctx context.Context, reads []dna.Read, subsets int, cfg Con
 				copy(out, recs)
 				results[jid] = out
 			}
+			atomic.AddInt64(&candTotal, sc.candTotal)
 		}()
 	}
 	for jid := range jobs {
@@ -248,10 +330,10 @@ func FindOverlapsCtx(ctx context.Context, reads []dna.Read, subsets int, cfg Con
 	close(jobCh)
 	wg.Wait()
 	if gate.Stopped() {
-		return nil, gate.Err()
+		return nil, 0, gate.Err()
 	}
 
-	return mergeRecords(results), nil
+	return mergeRecords(results), candTotal, nil
 }
 
 // validate checks the configuration shared by the local and distributed
@@ -262,6 +344,9 @@ func validate(cfg Config, subsets int) error {
 	}
 	if cfg.Indexing > IndexSuffixArray {
 		return fmt.Errorf("overlap: unknown indexing mode %d", cfg.Indexing)
+	}
+	if cfg.Engine > EngineSpGEMM {
+		return fmt.Errorf("overlap: unknown engine %d", cfg.Engine)
 	}
 	if subsets <= 0 {
 		return fmt.Errorf("overlap: %d subsets", subsets)
@@ -292,30 +377,10 @@ func alignQueriesGate(queryIDs []int32, querySeqs [][]byte, ref refIndex, cfg Co
 		}
 		qseq := querySeqs[qi2]
 		sc.nextQuery()
-		selected := seedOffsets(sc, qseq, cfg) // nil for SeedStep
-		si := 0
-		it := dna.NewKmerIter(qseq, cfg.K)
-		next := 0
-		for {
-			km, off, ok := it.Next()
-			if !ok {
-				break
-			}
-			if selected != nil {
-				if si == len(selected) {
-					break
-				}
-				if off != selected[si] {
-					continue
-				}
-				si++
-			} else if off < next {
-				continue
-			}
-			next = off + cfg.Step
+		forEachSeed(sc, qseq, cfg, func(km dna.Kmer, off int) {
 			hits, masked := ref.seedHits(km, cfg.MaxOccur, sc)
 			if masked {
-				continue // repeat-masked seed
+				return // repeat-masked seed
 			}
 			for _, h := range hits {
 				if ref.readID(h.read) == qi {
@@ -343,7 +408,7 @@ func alignQueriesGate(queryIDs []int32, querySeqs [][]byte, ref refIndex, cfg Co
 					c.diags = append(c.diags, diagVote{d: d, n: 1})
 				}
 			}
-		}
+		})
 		for _, local := range sc.touched {
 			c := &sc.cands[local]
 			if c.hits < int32(cfg.MinKmerHits) {
@@ -359,6 +424,10 @@ func alignQueriesGate(queryIDs []int32, querySeqs [][]byte, ref refIndex, cfg Co
 				if v.n > best || (v.n == best && v.d < diag) {
 					best, diag = v.n, v.d
 				}
+			}
+			if sc.countOnly {
+				sc.candTotal++
+				continue
 			}
 			g := ref.readID(local)
 			ov, ok := sc.align.OverlapOnDiagonal(qseq, ref.readSeq(local), int(diag), cfg.Align)

@@ -1,0 +1,279 @@
+package overlap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"focus/internal/dna"
+	"focus/internal/par"
+	"focus/internal/spmat"
+)
+
+// The SpGEMM overlap engine (Config.Engine == EngineSpGEMM): candidate
+// read pairs are derived as a masked sparse matrix product instead of
+// per-probe index lookups (ROADMAP item 4; the BELLA/diBELLA approach in
+// Guidi et al.). Per reference subset the engine builds the
+// full-occurrence read-by-k-mer matrix and its repeat-pruned transpose;
+// per query subset the sampled matrix (same forEachSeed sampling as the
+// probe engine). A subset-pair job is then: one dictionary merge-join
+// (spmat.Remap — replacing every per-probe binary search), the masked
+// product staged as compressed candidate lists per row block, and
+// bit-parallel banded-alignment verification of the survivors through the
+// same align.Scratch path the probe engine uses. Identical sampling,
+// masking, hit accounting and diagonal consensus make the emitted record
+// multiset equal to the probe engine's, so after mergeRecords the final
+// output is byte-identical (TestIndexingEquivalence pins this at workers
+// 1/2/8).
+
+// spmatSubset caches one subset's matrices, reused across every pair job
+// touching the subset — amortization the probe engine cannot do for its
+// query-side work.
+type spmatSubset struct {
+	ids  []int32
+	seqs [][]byte
+	q    *spmat.Matrix    // sampled query-side matrix
+	t    *spmat.Transpose // repeat-pruned transpose of the full matrix
+	self []int32          // identity self-map for the (s,s) diagonal job
+}
+
+// buildSpmatSubset builds both sides' structures for one subset. The
+// reference side uses the fused build (radix-sorted occurrences are
+// already in CSC order), skipping the CSR-then-transpose passes.
+func buildSpmatSubset(seqs [][]byte, ids []int32, cfg Config) *spmatSubset {
+	s := &spmatSubset{ids: ids, seqs: seqs}
+	s.t = spmat.TransposeFromSeqs(seqs, cfg.K, cfg.MaxOccur)
+
+	var sc scratch // minimizer staging only
+	ents := make([]spmat.Ent, 0, len(s.t.Rows))
+	for r, seq := range seqs {
+		r32 := int32(r)
+		forEachSeed(&sc, seq, cfg, func(km dna.Kmer, off int) {
+			ents = append(ents, spmat.Ent{Key: uint64(km), Row: r32, Pos: int32(off)})
+		})
+	}
+	s.q = spmat.Build(cfg.K, len(seqs), ents)
+
+	s.self = make([]int32, len(seqs))
+	for i := range s.self {
+		s.self[i] = int32(i)
+	}
+	return s
+}
+
+// findOverlapsSpmat is the SpGEMM driver. Work is fanned out at
+// (job, row-block) granularity in two phases — candidate generation, then
+// verification — with per-item output slots assembled in index order, so
+// results are byte-identical at any worker count. countOnly stops after
+// candidate generation and returns the surviving-candidate total.
+func findOverlapsSpmat(ctx context.Context, reads []dna.Read, subsets int, cfg Config, countOnly bool) ([]Record, int64, error) {
+	gate := par.GateFor(ctx)
+	subIDs, subSeqs := splitSubsets(reads, subsets)
+
+	// Per-subset matrices, built in parallel across subsets.
+	mats := make([]*spmatSubset, subsets)
+	par.Run(par.Workers(cfg.Workers, subsets, 1), subsets, func(_, s int) {
+		if gate.Stopped() {
+			return
+		}
+		mats[s] = buildSpmatSubset(subSeqs[s], subIDs[s], cfg)
+	})
+	if gate.Stopped() {
+		return nil, 0, gate.Err()
+	}
+
+	// Subset-pair jobs; the dictionary joins are independent, so they fan
+	// out too.
+	type job struct {
+		q, r  int
+		remap []int32
+	}
+	jobs := make([]job, 0, subsets*(subsets+1)/2)
+	for i := 0; i < subsets; i++ {
+		for j := i; j < subsets; j++ {
+			jobs = append(jobs, job{q: i, r: j})
+		}
+	}
+	par.Run(par.Workers(cfg.Workers, len(jobs), 1), len(jobs), func(_, t int) {
+		if gate.Stopped() {
+			return
+		}
+		jobs[t].remap = spmat.Remap(mats[jobs[t].q].q.Keys, mats[jobs[t].r].t.Keys)
+	})
+	if gate.Stopped() {
+		return nil, 0, gate.Err()
+	}
+
+	// Flatten (job, row-block) into one work list shared by both phases:
+	// load-balances small jobs against large ones without nested pools.
+	type item struct {
+		job    int
+		lo, hi int
+	}
+	var items []item
+	for t := range jobs {
+		rows := mats[jobs[t].q].q.NumRows
+		nb := spmat.NumBlocks(rows)
+		for b := 0; b < nb; b++ {
+			items = append(items, item{job: t, lo: b * spmat.BlockRows, hi: (b + 1) * spmat.BlockRows})
+		}
+	}
+	itemWorkers := par.Workers(cfg.Workers, len(items), 1)
+
+	// Phase A: masked product per item, staged as compressed candidate
+	// lists (delta-zigzag varints — candidate memory tracks the candidate
+	// set, not all-pairs).
+	bufs := make([][]byte, len(items))
+	var candTotal int64
+	mus := make([]*spmat.Multiplier, itemWorkers)
+	par.Run(itemWorkers, len(items), func(w, i int) {
+		if gate.Stopped() {
+			return
+		}
+		mu := mus[w]
+		if mu == nil {
+			mu = spmat.NewMultiplier()
+			mus[w] = mu
+		}
+		it := items[i]
+		j := jobs[it.job]
+		opts := spmat.MultiplyOpts{
+			Remap:   j.remap,
+			MinHits: int32(cfg.MinKmerHits),
+		}
+		if j.q == j.r {
+			opts.SelfRef = mats[j.q].self
+		}
+		buf := bufs[i]
+		var n int64
+		mu.MultiplyBlock(mats[j.q].q, mats[j.r].t, &opts, it.lo, it.hi, func(row int32, cands []spmat.Cand) {
+			n += int64(len(cands))
+			if !countOnly { // counting runs need no staging
+				buf = spmat.AppendCands(buf, row, cands)
+			}
+		})
+		bufs[i] = buf
+		atomic.AddInt64(&candTotal, n)
+	})
+	if gate.Stopped() {
+		return nil, 0, gate.Err()
+	}
+	if countOnly {
+		return nil, candTotal, nil
+	}
+
+	// Phase B: banded-alignment verification of the survivors, same item
+	// granularity, records staged per item.
+	recs := make([][]Record, len(items))
+	var decodeErr atomic.Value
+	scs := make([]*scratch, itemWorkers)
+	par.Run(itemWorkers, len(items), func(w, i int) {
+		if gate.Stopped() || len(bufs[i]) == 0 {
+			return
+		}
+		sc := scs[w]
+		if sc == nil {
+			sc = new(scratch)
+			scs[w] = sc
+		}
+		j := jobs[items[i].job]
+		qIDs, qSeqs := subIDs[j.q], subSeqs[j.q]
+		ref := mats[j.r]
+		var out []Record
+		err := spmat.DecodeCands(bufs[i], func(row int32, c spmat.Cand) {
+			qseq := qSeqs[row]
+			ov, ok := sc.align.OverlapOnDiagonal(qseq, ref.seqs[c.Row], int(c.Diag), cfg.Align)
+			if !ok {
+				return
+			}
+			rec := Record{A: qIDs[row], B: ref.ids[c.Row], Kind: ov.Kind, Len: int32(ov.Length), Identity: float32(ov.Identity), Diag: int32(ov.Diag)}
+			if rec.A > rec.B {
+				rec = rec.Flip()
+			}
+			out = append(out, rec)
+		})
+		if err != nil {
+			decodeErr.Store(fmt.Errorf("overlap: spmat candidate staging corrupt: %w", err))
+			return
+		}
+		recs[i] = out
+	})
+	if gate.Stopped() {
+		return nil, 0, gate.Err()
+	}
+	if err, _ := decodeErr.Load().(error); err != nil {
+		return nil, 0, err
+	}
+	return mergeRecords(recs), candTotal, nil
+}
+
+// spmatScratchPool recycles multipliers across AlignPair RPC calls, the
+// same ownership discipline as scratchPool.
+var spmatScratchPool = sync.Pool{New: func() interface{} { return spmat.NewMultiplier() }}
+
+// alignPairSpmat is the worker half of one distributed subset-pair job
+// under the SpGEMM engine: FindOverlapsDistributed already partitions the
+// product by row blocks (each job is one block-row of the global
+// candidate matrix — query subset × reference transpose), so the worker
+// runs the job's product serially and verifies survivors as they are
+// emitted.
+func alignPairSpmat(args *AlignPairArgs) []Record {
+	cfg := args.Cfg
+	t := spmat.TransposeFromSeqs(args.RefSeqs, cfg.K, cfg.MaxOccur)
+
+	var ssc scratch // minimizer staging only
+	ents := make([]spmat.Ent, 0, len(t.Rows))
+	for r, seq := range args.QuerySeqs {
+		r32 := int32(r)
+		forEachSeed(&ssc, seq, cfg, func(km dna.Kmer, off int) {
+			ents = append(ents, spmat.Ent{Key: uint64(km), Row: r32, Pos: int32(off)})
+		})
+	}
+	q := spmat.Build(cfg.K, len(args.QuerySeqs), ents)
+
+	// Generalized diagonal mask from the shipped global ids: on the (s,s)
+	// job query row i and reference read i are the same global read; on
+	// cross-subset jobs the id sets are disjoint and nothing is masked.
+	refOf := make(map[int32]int32, len(args.RefIDs))
+	for g, id := range args.RefIDs {
+		refOf[id] = int32(g)
+	}
+	self := make([]int32, len(args.QueryIDs))
+	for i, id := range args.QueryIDs {
+		if g, ok := refOf[id]; ok {
+			self[i] = g
+		} else {
+			self[i] = -1
+		}
+	}
+
+	opts := spmat.MultiplyOpts{
+		Remap:   spmat.Remap(q.Keys, t.Keys),
+		SelfRef: self,
+		MinHits: int32(cfg.MinKmerHits),
+		Workers: 1,
+	}
+	mu := spmatScratchPool.Get().(*spmat.Multiplier)
+	defer spmatScratchPool.Put(mu)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	var out []Record
+	for b, nb := 0, spmat.NumBlocks(q.NumRows); b < nb; b++ {
+		mu.MultiplyBlock(q, t, &opts, b*spmat.BlockRows, (b+1)*spmat.BlockRows, func(row int32, cands []spmat.Cand) {
+			qseq := args.QuerySeqs[row]
+			for _, c := range cands {
+				ov, ok := sc.align.OverlapOnDiagonal(qseq, args.RefSeqs[c.Row], int(c.Diag), cfg.Align)
+				if !ok {
+					continue
+				}
+				rec := Record{A: args.QueryIDs[row], B: args.RefIDs[c.Row], Kind: ov.Kind, Len: int32(ov.Length), Identity: float32(ov.Identity), Diag: int32(ov.Diag)}
+				if rec.A > rec.B {
+					rec = rec.Flip()
+				}
+				out = append(out, rec)
+			}
+		})
+	}
+	return out
+}

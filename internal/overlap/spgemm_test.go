@@ -1,0 +1,153 @@
+package overlap
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"focus/internal/dist"
+	"focus/internal/dna"
+)
+
+// TestSpGEMMDistributedMatchesLocal proves the engine works under the
+// RPC pool: FindOverlapsDistributed ships the config, workers run
+// alignPairSpmat per subset-pair row block, and the merged result is
+// byte-identical to the local SpGEMM (and therefore, via
+// TestIndexingEquivalence, to the probe engines).
+func TestSpGEMMDistributedMatchesLocal(t *testing.T) {
+	reads := rcReadSet(42, 2200)
+	cfg := testConfig()
+	cfg.Engine = EngineSpGEMM
+
+	for _, subsets := range []int{1, 3} {
+		local, err := FindOverlaps(reads, subsets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(local) == 0 {
+			t.Fatal("degenerate test: no overlaps")
+		}
+		pool, err := dist.NewLocalPool(2, newAlignService)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := FindOverlapsDistributed(pool, reads, subsets, cfg)
+		pool.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(remote) != len(local) {
+			t.Fatalf("subsets=%d: %d distributed records vs %d local", subsets, len(remote), len(local))
+		}
+		for i := range local {
+			if remote[i] != local[i] {
+				t.Fatalf("subsets=%d record %d: %+v vs %+v", subsets, i, remote[i], local[i])
+			}
+		}
+	}
+}
+
+// TestCountCandidatesEngineAgreement: both engines implement the same
+// candidate-generation semantics, so the surviving-candidate totals must
+// match exactly — the precondition for overlapbench's throughput
+// comparison to be apples-to-apples.
+func TestCountCandidatesEngineAgreement(t *testing.T) {
+	for seed := int64(5); seed < 8; seed++ {
+		reads := rcReadSet(seed, 1600)
+		for _, subsets := range []int{1, 3} {
+			for _, mut := range []func(*Config){
+				func(*Config) {},
+				func(c *Config) { c.MaxOccur = 8 },
+				func(c *Config) { c.Seeding = SeedMinimizer },
+			} {
+				cfg := testConfig()
+				mut(&cfg)
+				probe, err := CountCandidates(reads, subsets, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Engine = EngineSpGEMM
+				spg, err := CountCandidates(reads, subsets, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if probe != spg {
+					t.Fatalf("seed=%d subsets=%d: %d candidates (probe) vs %d (spmat)", seed, subsets, probe, spg)
+				}
+				if probe == 0 {
+					t.Fatalf("seed=%d subsets=%d: no candidates at all", seed, subsets)
+				}
+			}
+		}
+	}
+}
+
+// TestSpGEMMCancel: a pre-canceled context aborts the SpGEMM driver with
+// the context's cause, like the probe engine.
+func TestSpGEMMCancel(t *testing.T) {
+	reads := rcReadSet(9, 1200)
+	cfg := testConfig()
+	cfg.Engine = EngineSpGEMM
+	cause := errors.New("spgemm test cancel")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, err := FindOverlapsCtx(ctx, reads, 3, cfg); !errors.Is(err, cause) {
+		t.Fatalf("err=%v, want cause", err)
+	}
+}
+
+// TestSpGEMMWireConfigRoundTrip: the Engine field survives the binary
+// wire codec, so distributed workers run the engine the master selected.
+func TestSpGEMMWireConfigRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.Engine = EngineSpGEMM
+	cfg.Indexing = IndexSuffixArray
+	args := &AlignPairArgs{RefIDs: []int32{1}, RefSeqs: [][]byte{[]byte("ACGT")}, QueryIDs: []int32{2}, QuerySeqs: [][]byte{[]byte("TTTT")}, Cfg: cfg}
+	var back AlignPairArgs
+	if err := back.DecodeFrom(args.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cfg != cfg {
+		t.Fatalf("config round trip: %+v != %+v", back.Cfg, cfg)
+	}
+}
+
+// repeatHeavyReads builds the overlapbench geometry: a high-copy
+// interspersed repeat whose seeds all cross MaxOccur, tiled into
+// error-free 100 bp reads.
+func repeatHeavyReads(copies int) []dna.Read {
+	rng := rand.New(rand.NewSource(11))
+	bases := []byte("ACGT")
+	seq := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = bases[rng.Intn(4)]
+		}
+		return s
+	}
+	repeat := seq(600)
+	var genome []byte
+	for i := 0; i < copies; i++ {
+		genome = append(genome, seq(600)...)
+		genome = append(genome, repeat...)
+	}
+	return tilingReads(genome, 100, 40)
+}
+
+func benchCandGen(b *testing.B, engine Engine) {
+	reads := repeatHeavyReads(96)
+	cfg := DefaultConfig()
+	cfg.Step = 1
+	cfg.Engine = engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CountCandidates(reads, 3, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCandGenKmerTable(b *testing.B) { benchCandGen(b, EngineSeedIndex) }
+func BenchmarkCandGenSpmat(b *testing.B)     { benchCandGen(b, EngineSpGEMM) }

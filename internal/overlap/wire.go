@@ -93,6 +93,7 @@ func appendOverlapConfig(dst []byte, c *Config) []byte {
 	dst = append(dst, byte(c.Seeding))
 	dst = dist.AppendVarint(dst, int64(c.MinimizerW))
 	dst = append(dst, byte(c.Indexing))
+	dst = append(dst, byte(c.Engine))
 	return dist.AppendVarint(dst, int64(c.RPCRetries))
 }
 
@@ -106,6 +107,7 @@ func decodeOverlapConfig(rd *dist.WireReader, c *Config) {
 	c.Seeding = Seeding(rd.Byte())
 	c.MinimizerW = int(rd.Varint())
 	c.Indexing = Indexing(rd.Byte())
+	c.Engine = Engine(rd.Byte())
 	c.RPCRetries = int(rd.Varint())
 }
 

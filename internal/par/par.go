@@ -25,7 +25,11 @@
 // small host raise GOMAXPROCS (scripts/race.sh exports GOMAXPROCS=4).
 package par
 
-import "runtime"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // Limit caps an explicitly requested worker count at GOMAXPROCS(0);
 // requested <= 0 resolves to GOMAXPROCS(0) itself. The result is always
@@ -37,6 +41,62 @@ func Limit(requested int) int {
 		return p
 	}
 	return requested
+}
+
+// Blocks splits size items into contiguous fixed-grain blocks for
+// deterministic block-indexed fan-out. The block structure depends only
+// on size and grain — never on the worker count — so a stage that stages
+// its output per block and assembles the blocks in index order produces
+// identical results at any parallelism (the contract the spmat product
+// and its callers rely on). Block b covers items
+// [b*grain, min(size, (b+1)*grain)); the returned count is 0 only when
+// size <= 0.
+func Blocks(size, grain int) int {
+	if size <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (size + grain - 1) / grain
+}
+
+// Run executes fn(worker, item) for every item in [0, n), fanned out
+// over `workers` goroutines (already resolved via Workers/Limit; values
+// <= 1 run inline with worker id 0). Items are claimed dynamically via an
+// atomic cursor, so the mapping of items to workers is racy — fn must
+// stage per-item output (e.g. into a caller-owned slot per item or per
+// par.Blocks block) for the enclosing stage to stay deterministic. Run
+// returns when every item has been processed.
+func Run(workers, n int, fn func(worker, item int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // Workers resolves the worker count for one stage invocation over `size`

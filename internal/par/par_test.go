@@ -2,6 +2,7 @@ package par
 
 import (
 	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -77,4 +78,59 @@ func TestLimit(t *testing.T) {
 			t.Fatalf("Limit(64) = %d, want 3", got)
 		}
 	})
+}
+
+func TestBlocks(t *testing.T) {
+	cases := []struct{ size, grain, want int }{
+		{0, 32, 0},
+		{-5, 32, 0},
+		{1, 32, 1},
+		{32, 32, 1},
+		{33, 32, 2},
+		{100, 32, 4},
+		{7, 0, 7}, // grain < 1 clamps to 1
+		{7, -3, 7},
+	}
+	for _, c := range cases {
+		if got := Blocks(c.size, c.grain); got != c.want {
+			t.Fatalf("Blocks(%d,%d) = %d, want %d", c.size, c.grain, got, c.want)
+		}
+	}
+}
+
+func TestRunCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		for _, n := range []int{0, 1, 7, 257} {
+			hits := make([]int32, n)
+			Run(workers, n, func(worker, item int) {
+				if item < 0 || item >= n {
+					panic("item out of range")
+				}
+				atomic.AddInt32(&hits[item], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: item %d processed %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSerialIsInlineAndOrdered(t *testing.T) {
+	var order []int
+	Run(1, 5, func(worker, item int) {
+		if worker != 0 {
+			t.Fatalf("serial Run used worker id %d", worker)
+		}
+		order = append(order, item)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Run out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial Run ran %d items, want 5", len(order))
+	}
 }

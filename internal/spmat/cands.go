@@ -1,0 +1,97 @@
+package spmat
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compressed candidate-pair staging: the product's per-row candidate
+// lists are appended to a flat byte buffer instead of materialized as
+// []Cand, keeping the intermediate product memory proportional to the
+// entropy of the candidate set (delta-zigzag varints; candidate rows of
+// one query cluster, so deltas are small). One buffer per row block is
+// the unit handed from candidate generation to alignment verification.
+//
+// Layout, repeated per emitted row:
+//
+//	uvarint(queryRow) uvarint(n)
+//	n × ( zigzag(candRow - prevCandRow) uvarint(hits) zigzag(diag) )
+//
+// prevCandRow starts at 0 for each row's list.
+
+// AppendCands appends one query row's candidate list to dst and returns
+// the extended buffer. Empty lists append nothing.
+func AppendCands(dst []byte, row int32, cands []Cand) []byte {
+	if len(cands) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(uint32(row)))
+	dst = binary.AppendUvarint(dst, uint64(len(cands)))
+	prev := int32(0)
+	for _, c := range cands {
+		dst = binary.AppendUvarint(dst, zigzag(c.Row-prev))
+		prev = c.Row
+		dst = binary.AppendUvarint(dst, uint64(uint32(c.Hits)))
+		dst = binary.AppendUvarint(dst, zigzag(c.Diag))
+	}
+	return dst
+}
+
+// DecodeCands decodes a buffer of AppendCands rows, calling fn once per
+// candidate with its query row. Corrupt input (truncated varints,
+// overlong values, counts exceeding the bytes left) returns an error
+// without large allocations or unbounded loops; fn calls made before the
+// corruption was detected are not rolled back.
+func DecodeCands(buf []byte, fn func(row int32, c Cand)) error {
+	for len(buf) > 0 {
+		row, err := decodeU32(&buf, "row")
+		if err != nil {
+			return err
+		}
+		n, err := decodeU32(&buf, "count")
+		if err != nil {
+			return err
+		}
+		// Each candidate encodes to >= 3 bytes, so a count beyond
+		// len(buf)/3 can never be satisfied — reject before looping.
+		if n == 0 || int(n) > len(buf)/3+1 {
+			return fmt.Errorf("spmat: cands: count %d with %d bytes left", n, len(buf))
+		}
+		prev := int32(0)
+		for i := uint32(0); i < n; i++ {
+			d, err := decodeU32(&buf, "row delta")
+			if err != nil {
+				return err
+			}
+			hits, err := decodeU32(&buf, "hits")
+			if err != nil {
+				return err
+			}
+			diag, err := decodeU32(&buf, "diag")
+			if err != nil {
+				return err
+			}
+			prev += unzigzag(d)
+			fn(int32(row), Cand{Row: prev, Hits: int32(hits), Diag: unzigzag(diag)})
+		}
+	}
+	return nil
+}
+
+func zigzag(v int32) uint64 {
+	return uint64(uint32(v<<1) ^ uint32(v>>31))
+}
+
+func unzigzag(u uint32) int32 {
+	return int32(u>>1) ^ -int32(u&1)
+}
+
+// decodeU32 consumes one uvarint that must fit in 32 bits.
+func decodeU32(buf *[]byte, what string) (uint32, error) {
+	v, n := binary.Uvarint(*buf)
+	if n <= 0 || v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("spmat: cands: bad %s varint", what)
+	}
+	*buf = (*buf)[n:]
+	return uint32(v), nil
+}

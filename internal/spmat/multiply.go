@@ -1,0 +1,390 @@
+package spmat
+
+import (
+	"focus/internal/par"
+)
+
+// Cand is one surviving entry of the masked product A·Aᵀ: candidate read
+// Row shares Hits sampled k-mer occurrences with the query row, with
+// modal diagonal Diag (offset of Row's start in query coordinates, ties
+// broken toward the smaller diagonal — the same consensus rule as the
+// seed-index engine, so both produce identical alignment seeds).
+type Cand struct {
+	Row  int32
+	Hits int32
+	Diag int32
+}
+
+// Acc selects the per-row accumulator of the multiply.
+type Acc uint8
+
+const (
+	// AccAuto switches per row by estimated flops (BELLA's heavy-row
+	// rule): heavy rows use the generation-stamped dense accumulator,
+	// light rows over wide candidate spaces use open-addressing hashing.
+	AccAuto Acc = iota
+	// AccDense forces the dense accumulator (tests and benchmarks).
+	AccDense
+	// AccHash forces the hash accumulator (tests and benchmarks).
+	AccHash
+)
+
+// MultiplyOpts configures the masked product.
+type MultiplyOpts struct {
+	// Remap translates query-matrix column indices into transpose column
+	// indices (Remap output); nil means the operands share a dictionary.
+	// Query columns absent from the transpose (-1) contribute nothing.
+	Remap []int32
+	// SelfRef masks the generalized diagonal: for query row i, transpose
+	// read SelfRef[i] never becomes a candidate (a read must not overlap
+	// itself). nil disables; entries of -1 mask nothing for that row.
+	SelfRef []int32
+	// MinHits drops candidates with fewer accumulated hits (the
+	// MinKmerHits filter applied inside the accumulator).
+	MinHits int32
+	// Acc selects the accumulator (AccAuto outside tests).
+	Acc Acc
+	// Workers follows the par governor (<=0 auto). Used by Multiply only.
+	Workers int
+	// Gate, when non-nil, is polled at row-block boundaries by Multiply;
+	// a stopped gate abandons remaining blocks.
+	Gate *par.Gate
+}
+
+// BlockRows is the fixed row-block grain of the product: results are
+// staged per block of BlockRows query rows so any worker count yields
+// identical per-block output (see the package determinism contract).
+const BlockRows = 32
+
+// NumBlocks returns the number of row blocks the product of a matrix
+// with `rows` query rows is staged into.
+func NumBlocks(rows int) int { return par.Blocks(rows, BlockRows) }
+
+// Multiplier owns the reusable accumulator state of one multiply worker.
+// Like overlap's scratch, a Multiplier is owned by exactly one goroutine
+// at a time and amortizes its buffers across every block it processes.
+type Multiplier struct {
+	gen uint32
+
+	// Dense accumulator: one 16-byte generation-stamped entry per
+	// candidate read, accumulated in place (no slot indirection — the hot
+	// product loop touches exactly one cache line per elementary product),
+	// plus the first-touch list that orders emission.
+	dense   []denseAcc
+	touched []int32
+	spill   []gVote // overflow diagonal votes of the current row, rare
+
+	htab  []hslot // hash: open-addressing table, generation-stamped
+	hmask uint32
+
+	pool []candAcc // hash path: first-touch-ordered accumulator entries
+	n    int       // live entries in pool
+	out  []Cand    // per-row emission staging
+}
+
+// denseAcc is the dense path's per-candidate-read accumulator. d0/n0
+// hold the first-seen diagonal and its votes; further distinct diagonals
+// overflow to the shared spill list, detectable for free via hits != n0.
+type denseAcc struct {
+	gen  uint32
+	hits int32
+	d0   int32
+	n0   int32
+}
+
+// gVote is one spilled diagonal vote of candidate read g.
+type gVote struct{ g, d, n int32 }
+
+// candAcc accumulates the semiring value for one (query row, candidate
+// read) pair: the hit count plus diagonal votes derived from the
+// (posA, posB) payload of each elementary product. The first-seen
+// diagonal is held inline (d0, n0) — real overlaps concentrate their
+// votes on one diagonal, so the spill slice is rarely touched and the
+// hot vote path stays within the entry's own cache line.
+type candAcc struct {
+	row   int32
+	hits  int32
+	d0    int32 // first-seen diagonal
+	n0    int32 // votes on d0 (0 until the first vote lands)
+	spill []diagVote
+}
+
+type diagVote struct{ d, n int32 }
+
+type hslot struct {
+	gen  uint32
+	row  int32
+	slot int32
+}
+
+// NewMultiplier returns an empty multiplier; buffers grow on first use.
+func NewMultiplier() *Multiplier { return &Multiplier{} }
+
+// nextRow starts a new accumulation generation (O(1) clear of both the
+// dense entries and the hash table), handling uint32 wraparound.
+func (mu *Multiplier) nextRow() {
+	mu.gen++
+	if mu.gen == 0 { // wrapped: stale stamps could alias, hard-clear
+		for i := range mu.dense {
+			mu.dense[i].gen = 0
+		}
+		for i := range mu.htab {
+			mu.htab[i].gen = 0
+		}
+		mu.gen = 1
+	}
+	mu.n = 0
+	mu.touched = mu.touched[:0]
+	mu.spill = mu.spill[:0]
+}
+
+// alloc claims the next pool slot for candidate read g, reusing the
+// backing diags slice of a previous generation when available.
+func (mu *Multiplier) alloc(g int32) int32 {
+	if mu.n < len(mu.pool) {
+		c := &mu.pool[mu.n]
+		c.row = g
+		c.hits = 0
+		c.n0 = 0
+		c.spill = c.spill[:0]
+	} else {
+		mu.pool = append(mu.pool, candAcc{row: g})
+	}
+	mu.n++
+	return int32(mu.n - 1)
+}
+
+// candHash resolves candidate read g through the hash accumulator. The
+// table is sized ahead of each row so it can never fill (distinct
+// candidates <= row flops <= len(htab)/2).
+func (mu *Multiplier) candHash(g int32) *candAcc {
+	h := (uint32(g) * 0x9E3779B1) & mu.hmask
+	for {
+		s := &mu.htab[h]
+		if s.gen != mu.gen {
+			s.gen = mu.gen
+			s.row = g
+			s.slot = mu.alloc(g)
+			return &mu.pool[s.slot]
+		}
+		if s.row == g {
+			return &mu.pool[s.slot]
+		}
+		h = (h + 1) & mu.hmask
+	}
+}
+
+// useDense implements the heavy-row switch: a row whose flop estimate is
+// a sizable fraction of the candidate space (or a small candidate space
+// outright) amortizes the dense stamp arrays; sparse rows over wide
+// spaces keep the working set at O(flops) via hashing.
+func useDense(acc Acc, flops, numCols int) bool {
+	switch acc {
+	case AccDense:
+		return true
+	case AccHash:
+		return false
+	}
+	return numCols <= 4096 || flops >= numCols/8
+}
+
+// growHash ensures the hash table can hold `flops` distinct candidates at
+// <= 50% load.
+func (mu *Multiplier) growHash(flops int) {
+	need := 16
+	for need < 2*flops {
+		need <<= 1
+	}
+	if len(mu.htab) < need {
+		mu.htab = make([]hslot, need)
+	}
+	mu.hmask = uint32(len(mu.htab) - 1)
+}
+
+// MultiplyBlock computes rows [lo, hi) of the masked product q·tᵀ,
+// invoking emit once per query row that has surviving candidates. The
+// cands slice is staged in the multiplier and only valid until the next
+// row: emit must copy (or encode) what it keeps. Candidates are emitted
+// in first-touch order — a deterministic function of the CSR/CSC entry
+// order alone — with per-candidate modal diagonals resolved as max votes,
+// ties toward the smaller diagonal.
+func (mu *Multiplier) MultiplyBlock(q *Matrix, t *Transpose, opts *MultiplyOpts, lo, hi int, emit func(row int32, cands []Cand)) {
+	if hi > q.NumRows {
+		hi = q.NumRows
+	}
+	if len(mu.dense) < t.NumCols {
+		mu.dense = make([]denseAcc, t.NumCols)
+		mu.gen = 0
+	}
+	qCols, qPos := q.Cols, q.Pos
+	tStart, tRows, tPos := t.ColStart, t.Rows, t.Pos
+	for row := lo; row < hi; row++ {
+		rs, re := q.RowStart[row], q.RowStart[row+1]
+		if rs == re {
+			continue
+		}
+		// Small candidate spaces take the dense accumulator outright —
+		// the stamp arrays are cheap and the flops pre-scan would cost as
+		// much remap/postings traffic as the product itself. Wide spaces
+		// pre-scan the row's flops (postings lengths after remap; pruned
+		// and absent columns cost nothing) to pick the accumulator.
+		dense := opts.Acc == AccDense || (opts.Acc == AccAuto && t.NumCols <= 4096)
+		if !dense {
+			flops := 0
+			for e := rs; e < re; e++ {
+				j := qCols[e]
+				if opts.Remap != nil {
+					if j = opts.Remap[j]; j < 0 {
+						continue
+					}
+				}
+				flops += int(tStart[j+1] - tStart[j])
+			}
+			if flops == 0 {
+				continue
+			}
+			dense = useDense(opts.Acc, flops, t.NumCols)
+			if !dense {
+				mu.growHash(flops)
+			}
+		}
+		mu.nextRow()
+		self := int32(-1)
+		if opts.SelfRef != nil {
+			self = opts.SelfRef[row]
+		}
+		for e := rs; e < re; e++ {
+			j := qCols[e]
+			if opts.Remap != nil {
+				if j = opts.Remap[j]; j < 0 {
+					continue
+				}
+			}
+			posA := qPos[e]
+			for p := tStart[j]; p < tStart[j+1]; p++ {
+				g := tRows[p]
+				if g == self {
+					continue
+				}
+				// Semiring payload: diag = posA - posB, the offset of the
+				// candidate read's start in query coordinates.
+				d := posA - tPos[p]
+				if dense {
+					// In-place accumulation: one cache line per product.
+					a := &mu.dense[g]
+					if a.gen != mu.gen {
+						a.gen = mu.gen
+						a.hits = 1
+						a.d0 = d
+						a.n0 = 1
+						mu.touched = append(mu.touched, g)
+						continue
+					}
+					a.hits++
+					if d == a.d0 {
+						a.n0++
+						continue
+					}
+					mu.voteSpill(g, d)
+					continue
+				}
+				c := mu.candHash(g)
+				c.hits++
+				if d == c.d0 && c.n0 > 0 {
+					c.n0++
+				} else if c.n0 == 0 {
+					c.d0 = d
+					c.n0 = 1
+				} else {
+					voted := false
+					for i := range c.spill {
+						if c.spill[i].d == d {
+							c.spill[i].n++
+							voted = true
+							break
+						}
+					}
+					if !voted {
+						c.spill = append(c.spill, diagVote{d: d, n: 1})
+					}
+				}
+			}
+		}
+		mu.out = mu.out[:0]
+		if dense {
+			for _, g := range mu.touched {
+				a := &mu.dense[g]
+				if a.hits < opts.MinHits {
+					continue
+				}
+				best, diag := a.n0, a.d0
+				if a.hits != a.n0 { // some votes spilled past d0
+					for _, v := range mu.spill {
+						if v.g == g && (v.n > best || (v.n == best && v.d < diag)) {
+							best, diag = v.n, v.d
+						}
+					}
+				}
+				mu.out = append(mu.out, Cand{Row: g, Hits: a.hits, Diag: diag})
+			}
+		} else {
+			for i := 0; i < mu.n; i++ {
+				c := &mu.pool[i]
+				if c.hits < opts.MinHits {
+					continue
+				}
+				// Modal diagonal: max votes, ties toward the smaller d — a
+				// winner independent of vote arrival order.
+				best, diag := c.n0, c.d0
+				for _, v := range c.spill {
+					if v.n > best || (v.n == best && v.d < diag) {
+						best, diag = v.n, v.d
+					}
+				}
+				mu.out = append(mu.out, Cand{Row: c.row, Hits: c.hits, Diag: diag})
+			}
+		}
+		if len(mu.out) > 0 {
+			emit(int32(row), mu.out)
+		}
+	}
+}
+
+// voteSpill records a vote for a non-first diagonal of candidate read g
+// on the shared per-row spill list. Real overlaps concentrate votes on
+// one diagonal, so the list stays short enough for linear scans.
+func (mu *Multiplier) voteSpill(g, d int32) {
+	for i := range mu.spill {
+		if mu.spill[i].g == g && mu.spill[i].d == d {
+			mu.spill[i].n++
+			return
+		}
+	}
+	mu.spill = append(mu.spill, gVote{g: g, d: d, n: 1})
+}
+
+// Multiply computes the full masked product, row-blocked over the par
+// governor: workers claim BlockRows-row blocks dynamically and each calls
+// emit(block, row, cands) for its block's rows. emit may be called
+// concurrently for different blocks but never concurrently for the same
+// block; callers stage per-block output and assemble blocks in index
+// order for deterministic results. A stopped opts.Gate abandons remaining
+// blocks (partial emissions must then be discarded by the caller).
+func Multiply(q *Matrix, t *Transpose, opts MultiplyOpts, emit func(block int, row int32, cands []Cand)) {
+	nb := NumBlocks(q.NumRows)
+	w := par.Workers(opts.Workers, nb, 1)
+	mus := make([]*Multiplier, w)
+	par.Run(w, nb, func(worker, b int) {
+		if opts.Gate.Stopped() {
+			return
+		}
+		mu := mus[worker]
+		if mu == nil {
+			mu = NewMultiplier()
+			mus[worker] = mu
+		}
+		mu.MultiplyBlock(q, t, &opts, b*BlockRows, (b+1)*BlockRows, func(row int32, cands []Cand) {
+			emit(b, row, cands)
+		})
+	})
+}

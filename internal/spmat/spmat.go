@@ -1,0 +1,314 @@
+// Package spmat implements the sparse k-mer-matrix overlap engine's
+// linear-algebra core (ROADMAP item 4, the BELLA/diBELLA approach in
+// Guidi et al.): the read-by-k-mer sparse matrix A in CSR form over
+// 2-bit-packed k-mer columns (dna.Kmer encoding), a parallel transpose
+// with repeat-mask column pruning, and a masked SpGEMM A·Aᵀ specialized
+// for candidate generation — the multiply semiring carries (posA, posB)
+// per elementary product so the modal overlap diagonal falls out of the
+// accumulator instead of a second pass.
+//
+// Determinism contract: every output of this package — the CSR layout,
+// the transpose, and the per-row candidate lists of the product — is
+// byte-identical at any worker count. The product achieves this by
+// staging results per fixed-grain row block (par.Blocks): the block
+// structure depends only on the row count, workers race for whole
+// blocks, and callers assemble blocks in index order.
+package spmat
+
+import (
+	"fmt"
+	"sync"
+
+	"focus/internal/dna"
+)
+
+// entPool recycles occurrence buffers (enumeration staging and radix
+// scratch) across builds: the buffers are the dominant transient
+// allocation of the engine's per-subset builds, and pooling them keeps
+// steady-state candidate generation out of the garbage collector.
+// u64Pool does the same for the packed-key sort views.
+var (
+	entPool sync.Pool
+	u64Pool sync.Pool
+)
+
+func getEnts(n int) []Ent {
+	if p, _ := entPool.Get().(*[]Ent); p != nil && cap(*p) >= n {
+		return (*p)[:0]
+	}
+	return make([]Ent, 0, n)
+}
+
+func putEnts(s []Ent) {
+	entPool.Put(&s)
+}
+
+func getU64(n int) []uint64 {
+	if p, _ := u64Pool.Get().(*[]uint64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint64, n)
+}
+
+func putU64(s []uint64) {
+	u64Pool.Put(&s)
+}
+
+// Ent is one k-mer occurrence feeding the CSR build: Row is the read
+// (matrix row), Key the 2-bit packed k-mer value (uint64(dna.Kmer)), and
+// Pos the offset of the occurrence's first base within the read.
+type Ent struct {
+	Key uint64
+	Row int32
+	Pos int32
+}
+
+// Matrix is the read-by-k-mer sparse matrix in CSR form. A stored entry
+// (r, j) with position p means k-mer Keys[j] occurs in read r at offset
+// p; a k-mer occurring several times in one read is stored once per
+// occurrence (the multiply counts multiplicities, matching the seed-index
+// engine's per-occurrence hit accounting).
+type Matrix struct {
+	K       int
+	NumRows int
+	// Keys is the column dictionary: the distinct packed k-mers of the
+	// matrix, ascending. Column j is k-mer Keys[j]; other matrices over
+	// different read sets have different dictionaries — Remap joins them.
+	Keys []uint64
+	// RowStart[r]..RowStart[r+1] delimit row r's entries in Cols/Pos.
+	// Within a row, entries are (column asc, pos asc).
+	RowStart []int32
+	Cols     []int32
+	Pos      []int32
+}
+
+// NumEntries returns the stored-entry count.
+func (m *Matrix) NumEntries() int { return len(m.Cols) }
+
+// Build constructs the CSR matrix from the occurrence list. ents is
+// reordered in place and not retained after return. rows bounds the row
+// space; every Ent.Row must lie in [0, rows) and k in [1, dna.MaxK] —
+// violations are programmer errors and panic.
+//
+// The build is two stable counting passes: an LSD radix sort on the
+// packed key (ceil(2k/8) byte digits, same recipe as the overlap k-mer
+// table) groups equal k-mers and yields the sorted dictionary, then a
+// counting sort by row scatters entries into CSR order. Both passes are
+// stable, so within a row entries end up (key asc, pos asc) — a fixed
+// order the product's determinism relies on.
+func Build(k, rows int, ents []Ent) *Matrix {
+	if k <= 0 || k > dna.MaxK {
+		panic(fmt.Sprintf("spmat: k=%d out of range [1,%d]", k, dna.MaxK))
+	}
+	if rows < 0 {
+		panic(fmt.Sprintf("spmat: %d rows", rows))
+	}
+	m := &Matrix{K: k, NumRows: rows}
+	// Validation doubles as the row histogram: RowStart depends only on
+	// the (unsorted) occurrence list.
+	counts := make([]int32, rows+1)
+	for i := range ents {
+		if ents[i].Row < 0 || int(ents[i].Row) >= rows {
+			panic(fmt.Sprintf("spmat: entry row %d outside [0,%d)", ents[i].Row, rows))
+		}
+		counts[ents[i].Row+1]++
+	}
+	for r := 0; r < rows; r++ {
+		counts[r+1] += counts[r]
+	}
+	m.RowStart = counts
+
+	m.Cols = make([]int32, len(ents))
+	m.Pos = make([]int32, len(ents))
+	cursor := make([]int32, rows)
+	copy(cursor, m.RowStart[:rows])
+
+	// One fused pass in key order: track the running column index at run
+	// boundaries and scatter each occurrence to its row's cursor. Two
+	// bodies, since the packed view's indirection must stay branch-free
+	// in the loop.
+	if pk := packKeys(ents, k); pk != nil {
+		m.Keys = make([]uint64, 0, distinctPacked(pk))
+		col := int32(-1)
+		prev := ^uint64(0)
+		for _, w := range pk {
+			if key := w >> 32; key != prev {
+				m.Keys = append(m.Keys, key)
+				col++
+				prev = key
+			}
+			e := &ents[uint32(w)]
+			p := cursor[e.Row]
+			cursor[e.Row] = p + 1
+			m.Cols[p] = col
+			m.Pos[p] = e.Pos
+		}
+		putU64(pk)
+		return m
+	}
+	ents = radixSortEnts(ents, k)
+	distinct := 0
+	for i := range ents {
+		if i == 0 || ents[i].Key != ents[i-1].Key {
+			distinct++
+		}
+	}
+	m.Keys = make([]uint64, 0, distinct)
+	col := int32(-1)
+	for i := range ents {
+		if i == 0 || ents[i].Key != ents[i-1].Key {
+			m.Keys = append(m.Keys, ents[i].Key)
+			col++
+		}
+		p := cursor[ents[i].Row]
+		cursor[ents[i].Row] = p + 1
+		m.Cols[p] = col
+		m.Pos[p] = ents[i].Pos
+	}
+	return m
+}
+
+// distinctPacked counts key runs of a sorted packed view.
+func distinctPacked(pk []uint64) int {
+	distinct := 0
+	prev := ^uint64(0)
+	for _, w := range pk {
+		if key := w >> 32; key != prev {
+			distinct++
+			prev = key
+		}
+	}
+	return distinct
+}
+
+// packKeys returns the radix-sorted packed view of ents — Key<<32 |
+// original index, ascending — when the key fits the high half (2k <= 32,
+// true for every k <= 16 including the engine default). Sorting 8-byte
+// packed words instead of 16-byte structs halves the scatter traffic of
+// the build's dominant pass; the low index bits recover (Row, Pos) and
+// make per-digit stability equivalent to whole-word ordering. Returns
+// nil (caller falls back to the struct sort) for larger k. The slice
+// comes from u64Pool; the caller must putU64 it.
+func packKeys(ents []Ent, k int) []uint64 {
+	if 2*k > 32 || len(ents) > 1<<31 {
+		return nil
+	}
+	pk := getU64(len(ents))
+	for i := range ents {
+		pk[i] = ents[i].Key<<32 | uint64(i)
+	}
+	if len(pk) < 2 {
+		return pk
+	}
+	passes := (2*k + 7) / 8
+	buf := getU64(len(pk))
+	src, dst := pk, buf
+	for p := 0; p < passes; p++ {
+		shift := uint(32 + 8*p)
+		var count [256]int
+		for i := range src {
+			count[(src[i]>>shift)&0xFF]++
+		}
+		if count[src[0]>>shift&0xFF] == len(src) {
+			continue // all entries share this digit: pass is a no-op
+		}
+		sum := 0
+		for d := range count {
+			count[d], sum = sum, count[d]+sum
+		}
+		for i := range src {
+			d := (src[i] >> shift) & 0xFF
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	putU64(dst)
+	return src
+}
+
+// BuildFromSeqs enumerates every N-free k-mer window of each sequence
+// (dna.ForEachKmer semantics: windows containing non-ACGT bytes such as
+// 'N' or '#' separators are skipped) and builds the matrix with one row
+// per sequence. This is the full-occurrence matrix the reference side of
+// the overlap product transposes.
+func BuildFromSeqs(seqs [][]byte, k int) *Matrix {
+	bound := 0
+	for _, s := range seqs {
+		if n := len(s) - k + 1; n > 0 {
+			bound += n
+		}
+	}
+	ents := getEnts(bound)
+	for r, s := range seqs {
+		r32 := int32(r)
+		dna.ForEachKmer(s, k, func(km dna.Kmer, off int) {
+			ents = append(ents, Ent{Key: uint64(km), Row: r32, Pos: int32(off)})
+		})
+	}
+	m := Build(k, len(seqs), ents)
+	putEnts(ents)
+	return m
+}
+
+// radixSortEnts sorts ents in place, ascending by Key, with a stable LSD
+// radix sort over the low 2k bits (8-bit digits — 256 scatter streams
+// stay L1-resident, which an 11-bit variant measurably does not —
+// skipping digit positions where all entries agree). The ping-pong
+// scratch buffer is pooled, and an odd effective pass count ends with
+// one copy back into the input so ownership never migrates to the
+// scratch. Returns ents for convenience.
+func radixSortEnts(ents []Ent, k int) []Ent {
+	if len(ents) < 2 {
+		return ents
+	}
+	const digitBits, digitMask = 8, 1<<8 - 1
+	passes := (2*k + digitBits - 1) / digitBits
+	buf := getEnts(len(ents))[:len(ents)]
+	src, dst := ents, buf
+	for p := 0; p < passes; p++ {
+		shift := uint(digitBits * p)
+		var count [digitMask + 1]int
+		for i := range src {
+			count[(src[i].Key>>shift)&digitMask]++
+		}
+		if count[src[0].Key>>shift&digitMask] == len(src) {
+			continue // all entries share this digit: pass is a no-op
+		}
+		sum := 0
+		for d := range count {
+			count[d], sum = sum, count[d]+sum
+		}
+		for i := range src {
+			d := (src[i].Key >> shift) & digitMask
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ents[0] {
+		copy(ents, src)
+	}
+	putEnts(buf)
+	return ents
+}
+
+// Remap joins two column dictionaries: out[j] is the column index of
+// qKeys[j] within tKeys, or -1 when absent. Both inputs must be ascending
+// (as Build produces). One linear merge per subset-pair job replaces the
+// per-probe binary search of the seed-index engine.
+func Remap(qKeys, tKeys []uint64) []int32 {
+	out := make([]int32, len(qKeys))
+	ti := 0
+	for qi, key := range qKeys {
+		for ti < len(tKeys) && tKeys[ti] < key {
+			ti++
+		}
+		if ti < len(tKeys) && tKeys[ti] == key {
+			out[qi] = int32(ti)
+		} else {
+			out[qi] = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,423 @@
+package spmat
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"focus/internal/dna"
+)
+
+// randSeqs generates reads over ACGT with occasional N and '#' bytes so
+// window-skipping paths are exercised.
+func randSeqs(seed int64, n, maxLen int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	seqs := make([][]byte, n)
+	for i := range seqs {
+		l := 1 + rng.Intn(maxLen)
+		s := make([]byte, l)
+		for j := range s {
+			switch r := rng.Intn(24); {
+			case r < 20:
+				s[j] = "ACGT"[r%4]
+			case r < 22:
+				s[j] = 'N'
+			default:
+				s[j] = '#'
+			}
+		}
+		seqs[i] = s
+	}
+	return seqs
+}
+
+// naiveEnts enumerates the k-mer occurrences of seqs the slow way.
+func naiveEnts(seqs [][]byte, k int) []Ent {
+	var ents []Ent
+	for r, s := range seqs {
+		for off := 0; off+k <= len(s); off++ {
+			if km, ok := dna.PackKmer(s[off:], k); ok {
+				ents = append(ents, Ent{Key: uint64(km), Row: int32(r), Pos: int32(off)})
+			}
+		}
+	}
+	return ents
+}
+
+func TestBuildAgainstNaive(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		k := 4 + int(seed)%8
+		seqs := randSeqs(seed, 10+int(seed), 80)
+		want := naiveEnts(seqs, k)
+		m := BuildFromSeqs(seqs, k)
+
+		if m.NumRows != len(seqs) || m.NumEntries() != len(want) {
+			t.Fatalf("seed %d: %d rows / %d entries, want %d / %d", seed, m.NumRows, m.NumEntries(), len(seqs), len(want))
+		}
+		for j := 1; j < len(m.Keys); j++ {
+			if m.Keys[j] <= m.Keys[j-1] {
+				t.Fatalf("seed %d: dictionary not strictly ascending at %d", seed, j)
+			}
+		}
+		// Reconstruct the entry multiset from the CSR and compare; also
+		// check the documented within-row (key asc, pos asc) order.
+		var got []Ent
+		for r := 0; r < m.NumRows; r++ {
+			prevKey, prevPos := uint64(0), int32(-1)
+			for e := m.RowStart[r]; e < m.RowStart[r+1]; e++ {
+				key := m.Keys[m.Cols[e]]
+				if e > m.RowStart[r] && (key < prevKey || (key == prevKey && m.Pos[e] <= prevPos)) {
+					t.Fatalf("seed %d: row %d entries not (key asc, pos asc)", seed, r)
+				}
+				prevKey, prevPos = key, m.Pos[e]
+				got = append(got, Ent{Key: key, Row: int32(r), Pos: m.Pos[e]})
+			}
+		}
+		sortEnts := func(es []Ent) {
+			sort.Slice(es, func(i, j int) bool {
+				if es[i].Row != es[j].Row {
+					return es[i].Row < es[j].Row
+				}
+				if es[i].Key != es[j].Key {
+					return es[i].Key < es[j].Key
+				}
+				return es[i].Pos < es[j].Pos
+			})
+		}
+		sortEnts(got)
+		sortEnts(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: CSR entry multiset differs from naive enumeration", seed)
+		}
+	}
+}
+
+func TestTransposeAgainstNaive(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		k := 5
+		seqs := randSeqs(seed+100, 16, 120)
+		m := BuildFromSeqs(seqs, k)
+		for _, maxOccur := range []int{0, 1, 3, 8} {
+			ref := m.Transpose(maxOccur, 1)
+
+			// Naive postings per key.
+			posts := map[uint64][]Ent{}
+			for _, e := range naiveEnts(seqs, k) {
+				posts[e.Key] = append(posts[e.Key], e)
+			}
+			maskedWant := 0
+			for j, key := range ref.Keys {
+				want := posts[key]
+				if dna.RepeatMasked(len(want), maxOccur) {
+					maskedWant++
+					if !ref.IsMasked(j) || ref.ColStart[j] != ref.ColStart[j+1] {
+						t.Fatalf("seed %d cap %d: over-occurring key %x not pruned", seed, maxOccur, key)
+					}
+					continue
+				}
+				if ref.IsMasked(j) {
+					t.Fatalf("seed %d cap %d: key %x with %d occurrences wrongly masked", seed, maxOccur, key, len(want))
+				}
+				a, b := ref.ColStart[j], ref.ColStart[j+1]
+				if int(b-a) != len(want) {
+					t.Fatalf("seed %d cap %d: key %x postings %d, want %d", seed, maxOccur, key, b-a, len(want))
+				}
+				// naiveEnts emits (row asc, pos asc) already.
+				for i, e := range want {
+					if ref.Rows[a+int32(i)] != e.Row || ref.Pos[a+int32(i)] != e.Pos {
+						t.Fatalf("seed %d cap %d: key %x posting %d mismatch", seed, maxOccur, key, i)
+					}
+				}
+			}
+			if ref.Masked != maskedWant {
+				t.Fatalf("seed %d cap %d: Masked=%d, want %d", seed, maxOccur, ref.Masked, maskedWant)
+			}
+
+			// Worker-count parity: identical output at 1/2/8.
+			for _, w := range []int{2, 8} {
+				alt := m.Transpose(maxOccur, w)
+				if !reflect.DeepEqual(alt.ColStart, ref.ColStart) ||
+					!reflect.DeepEqual(alt.Rows, ref.Rows) ||
+					!reflect.DeepEqual(alt.Pos, ref.Pos) ||
+					!reflect.DeepEqual(alt.masked, ref.masked) || alt.Masked != ref.Masked {
+					t.Fatalf("seed %d cap %d: transpose differs at %d workers", seed, maxOccur, w)
+				}
+			}
+		}
+	}
+}
+
+// TestTransposePruneBoundary pins the occurrence-cap boundary semantics
+// for the matrix engine: exactly-at-threshold columns are kept, one past
+// is pruned (dna.RepeatMasked; same contract as the seed indexes, see
+// overlap.TestRepeatThresholdBoundary).
+func TestTransposePruneBoundary(t *testing.T) {
+	const cap = 3
+	// "AAAA" occurs exactly cap times, "CCCC" cap+1 times.
+	seqs := [][]byte{[]byte("AAAACCCC"), []byte("AAAA"), []byte("AAAA"), []byte("CCCC"), []byte("CCCC"), []byte("CCCC")}
+	m := BuildFromSeqs(seqs, 4)
+	ref := m.Transpose(cap, 1)
+	find := func(key uint64) int {
+		for j, k := range ref.Keys {
+			if k == key {
+				return j
+			}
+		}
+		t.Fatalf("key %x not in dictionary", key)
+		return -1
+	}
+	aaaa, _ := dna.PackKmer([]byte("AAAA"), 4)
+	cccc, _ := dna.PackKmer([]byte("CCCC"), 4)
+	if j := find(uint64(aaaa)); ref.IsMasked(j) || ref.ColStart[j+1]-ref.ColStart[j] != cap {
+		t.Fatalf("exactly-at-threshold column pruned (cap=%d)", cap)
+	}
+	if j := find(uint64(cccc)); !ref.IsMasked(j) || ref.ColStart[j+1] != ref.ColStart[j] {
+		t.Fatalf("over-threshold column kept (cap=%d)", cap)
+	}
+	if ref.Masked != 1 {
+		t.Fatalf("Masked=%d, want 1", ref.Masked)
+	}
+	if un := m.Transpose(0, 1); un.Masked != 0 {
+		t.Fatalf("cap<=0 masked %d columns", un.Masked)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	q := []uint64{1, 4, 7, 9, 20}
+	r := []uint64{0, 1, 2, 7, 8, 20, 31}
+	want := []int32{1, -1, 3, -1, 5}
+	if got := Remap(q, r); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Remap=%v, want %v", got, want)
+	}
+	if got := Remap(nil, r); len(got) != 0 {
+		t.Fatalf("Remap(nil)=%v", got)
+	}
+	if got := Remap(q, nil); !reflect.DeepEqual(got, []int32{-1, -1, -1, -1, -1}) {
+		t.Fatalf("Remap(_, nil)=%v", got)
+	}
+}
+
+// flatCand is one collected emission for order-sensitive comparisons.
+type flatCand struct {
+	Block int
+	QRow  int32
+	Cand
+}
+
+func collectMultiply(q *Matrix, ref *Transpose, opts MultiplyOpts) []flatCand {
+	nb := NumBlocks(q.NumRows)
+	perBlock := make([][]flatCand, nb)
+	Multiply(q, ref, opts, func(block int, row int32, cands []Cand) {
+		for _, c := range cands {
+			perBlock[block] = append(perBlock[block], flatCand{Block: block, QRow: row, Cand: c})
+		}
+	})
+	var out []flatCand
+	for _, b := range perBlock {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// bruteCands computes the expected candidate set from raw occurrence
+// lists, independent of the CSR machinery.
+func bruteCands(qSeqs, rSeqs [][]byte, k, maxOccur int, minHits int32, self bool) map[[2]int32]Cand {
+	refEnts := naiveEnts(rSeqs, k)
+	occ := map[uint64]int{}
+	for _, e := range refEnts {
+		occ[e.Key]++
+	}
+	out := map[[2]int32]Cand{}
+	for qi, qs := range qSeqs {
+		type votes struct {
+			hits  int32
+			diags map[int32]int32
+		}
+		acc := map[int32]*votes{}
+		for _, qe := range naiveEnts([][]byte{qs}, k) {
+			if dna.RepeatMasked(occ[qe.Key], maxOccur) {
+				continue
+			}
+			for _, re := range refEnts {
+				if re.Key != qe.Key {
+					continue
+				}
+				if self && re.Row == int32(qi) {
+					continue
+				}
+				v := acc[re.Row]
+				if v == nil {
+					v = &votes{diags: map[int32]int32{}}
+					acc[re.Row] = v
+				}
+				v.hits++
+				v.diags[qe.Pos-re.Pos]++
+			}
+		}
+		for g, v := range acc {
+			if v.hits < minHits {
+				continue
+			}
+			var diag int32
+			best := int32(-1)
+			// Deterministic tie-break needs ordered iteration.
+			var ds []int32
+			for d := range v.diags {
+				ds = append(ds, d)
+			}
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			for _, d := range ds {
+				if v.diags[d] > best {
+					best, diag = v.diags[d], d
+				}
+			}
+			out[[2]int32{int32(qi), g}] = Cand{Row: g, Hits: v.hits, Diag: diag}
+		}
+	}
+	return out
+}
+
+func TestMultiplyAgainstBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		k := 5
+		qSeqs := randSeqs(seed+200, 24, 90)
+		rSeqs := randSeqs(seed+300, 20, 90)
+		for _, self := range []bool{false, true} {
+			if self {
+				rSeqs = qSeqs
+			}
+			for _, maxOccur := range []int{0, 4} {
+				ref := BuildFromSeqs(rSeqs, k).Transpose(maxOccur, 1)
+				qm := BuildFromSeqs(qSeqs, k)
+				opts := MultiplyOpts{Remap: Remap(qm.Keys, ref.Keys), MinHits: 2, Workers: 1}
+				if self {
+					opts.SelfRef = make([]int32, len(qSeqs))
+					for i := range opts.SelfRef {
+						opts.SelfRef[i] = int32(i)
+					}
+				}
+				got := collectMultiply(qm, ref, opts)
+				want := bruteCands(qSeqs, rSeqs, k, maxOccur, 2, self)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d self=%v cap=%d: %d candidates, want %d", seed, self, maxOccur, len(got), len(want))
+				}
+				for _, fc := range got {
+					w, ok := want[[2]int32{fc.QRow, fc.Row}]
+					if !ok || w != fc.Cand {
+						t.Fatalf("seed %d self=%v cap=%d: cand (%d,%d)=%+v, want %+v", seed, self, maxOccur, fc.QRow, fc.Row, fc.Cand, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplyDeterminism pins byte-identical per-block emissions across
+// worker counts and accumulator choices.
+func TestMultiplyDeterminism(t *testing.T) {
+	k := 5
+	qSeqs := randSeqs(77, 70, 100)
+	rSeqs := randSeqs(78, 66, 100)
+	ref := BuildFromSeqs(rSeqs, k).Transpose(6, 1)
+	qm := BuildFromSeqs(qSeqs, k)
+	base := MultiplyOpts{Remap: Remap(qm.Keys, ref.Keys), MinHits: 2, Workers: 1, Acc: AccDense}
+	want := collectMultiply(qm, ref, base)
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no candidates")
+	}
+	for _, acc := range []Acc{AccAuto, AccDense, AccHash} {
+		for _, w := range []int{1, 2, 8} {
+			opts := base
+			opts.Acc = acc
+			opts.Workers = w
+			if got := collectMultiply(qm, ref, opts); !reflect.DeepEqual(got, want) {
+				t.Fatalf("acc=%d workers=%d: emissions differ", acc, w)
+			}
+		}
+	}
+}
+
+func TestCandsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var buf []byte
+	type rowCands struct {
+		row   int32
+		cands []Cand
+	}
+	var want []rowCands
+	for row := int32(0); row < 40; row++ {
+		n := rng.Intn(5)
+		cands := make([]Cand, n)
+		for i := range cands {
+			cands[i] = Cand{Row: rng.Int31n(1 << 20), Hits: 1 + rng.Int31n(100), Diag: rng.Int31n(400) - 200}
+		}
+		buf = AppendCands(buf, row, cands)
+		if n > 0 {
+			want = append(want, rowCands{row: row, cands: cands})
+		}
+	}
+	var got []rowCands
+	err := DecodeCands(buf, func(row int32, c Cand) {
+		if len(got) == 0 || got[len(got)-1].row != row {
+			got = append(got, rowCands{row: row})
+		}
+		last := &got[len(got)-1]
+		last.cands = append(last.cands, c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("roundtrip mismatch: got %d rows, want %d", len(got), len(want))
+	}
+}
+
+func TestCandsCorrupt(t *testing.T) {
+	good := AppendCands(nil, 3, []Cand{{Row: 7, Hits: 2, Diag: -5}, {Row: 9, Hits: 3, Diag: 0}})
+	for cut := 1; cut < len(good); cut++ {
+		if err := DecodeCands(good[:cut], func(int32, Cand) {}); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A count claiming more candidates than bytes remain must be rejected
+	// before looping.
+	bad := []byte{0x01, 0xFF, 0xFF, 0x03, 0x01}
+	if err := DecodeCands(bad, func(int32, Cand) {}); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+	// Overlong varint (> 32 bits).
+	bad2 := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if err := DecodeCands(bad2, func(int32, Cand) {}); err == nil {
+		t.Fatal("overlong varint accepted")
+	}
+	if err := DecodeCands(nil, func(int32, Cand) {}); err != nil {
+		t.Fatalf("empty buffer: %v", err)
+	}
+}
+
+func BenchmarkSpmatBuild(b *testing.B) {
+	seqs := randSeqs(5, 400, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFromSeqs(seqs, 16)
+	}
+}
+
+func BenchmarkSpmatMultiply(b *testing.B) {
+	k := 16
+	seqs := randSeqs(6, 400, 100)
+	ref := BuildFromSeqs(seqs, k).Transpose(64, 1)
+	qm := BuildFromSeqs(seqs, k)
+	self := make([]int32, len(seqs))
+	for i := range self {
+		self[i] = int32(i)
+	}
+	opts := MultiplyOpts{Remap: Remap(qm.Keys, ref.Keys), SelfRef: self, MinHits: 2, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Multiply(qm, ref, opts, func(int, int32, []Cand) {})
+	}
+}

@@ -1,0 +1,272 @@
+package spmat
+
+import (
+	"fmt"
+
+	"focus/internal/dna"
+	"focus/internal/par"
+)
+
+// Transpose is the k-mer-by-read matrix Aᵀ in CSC-of-A form: per column
+// (k-mer) the postings list of (read row, offset) occurrences. It is the
+// right operand of the candidate product — the analogue of the seed
+// index's postings table, with repeat masking applied once at build time
+// (pruned columns are empty) instead of per probe.
+type Transpose struct {
+	K       int
+	NumCols int // reads of the underlying matrix (the product's candidate space)
+	// Keys is the column dictionary, shared (aliased) with the source
+	// matrix: postings of k-mer Keys[j] live at Rows/Pos[ColStart[j]:ColStart[j+1]].
+	Keys     []uint64
+	ColStart []int32
+	Rows     []int32 // read of each occurrence, ascending within a column
+	Pos      []int32 // offset of each occurrence; (row, pos) ascending within a column
+	// Masked counts the pruned (over-occurring) k-mer columns; masked is
+	// their bitmap over column indices. Pruned columns keep their
+	// dictionary slot but have no postings, so the product skips them for
+	// free while probe-level callers can still distinguish "masked" from
+	// "absent".
+	Masked int
+	masked []uint64
+}
+
+// IsMasked reports whether column j was pruned by the occurrence cap.
+func (t *Transpose) IsMasked(j int) bool {
+	return t.masked[j>>6]&(1<<(uint(j)&63)) != 0
+}
+
+// transposeGrain is the per-worker break-even entry count for the
+// parallel transpose: below it the counting+scatter passes are too cheap
+// to amortize fan-out.
+const transposeGrain = 8192
+
+// Transpose builds the pruned transpose. Columns whose total occurrence
+// count exceeds maxOccur are pruned (dna.RepeatMasked semantics:
+// exactly-at-threshold kept, maxOccur <= 0 disables). workers follows the
+// par governor (<=0 auto). Output is identical at any worker count: the
+// parallel path partitions rows into contiguous blocks, counts per block,
+// and scatters with per-block cursors derived from the global prefix sum,
+// so each column's postings are written in global row order.
+func (m *Matrix) Transpose(maxOccur, workers int) *Transpose {
+	d := len(m.Keys)
+	t := &Transpose{K: m.K, NumCols: m.NumRows, Keys: m.Keys}
+	t.ColStart = make([]int32, d+1)
+	t.masked = make([]uint64, (d+63)/64)
+	w := par.Workers(workers, m.NumEntries(), transposeGrain)
+	if w > m.NumRows {
+		w = m.NumRows
+	}
+	if w < 1 {
+		w = 1
+	}
+
+	// Per-block column counts. Blocks are contiguous row ranges balanced
+	// by entry count; with one worker this is a single plain pass.
+	blocks := rowBlocks(m.RowStart, w)
+	nb := len(blocks) - 1
+	counts := make([][]int32, nb)
+	par.Run(w, nb, func(_, b int) {
+		cnt := make([]int32, d)
+		for e := m.RowStart[blocks[b]]; e < m.RowStart[blocks[b+1]]; e++ {
+			cnt[m.Cols[e]]++
+		}
+		counts[b] = cnt
+	})
+
+	// Global prefix sum with pruning, then rewrite the per-block counts
+	// into per-block write cursors.
+	run := int32(0)
+	for j := 0; j < d; j++ {
+		total := int32(0)
+		for b := 0; b < nb; b++ {
+			total += counts[b][j]
+		}
+		t.ColStart[j] = run
+		if dna.RepeatMasked(int(total), maxOccur) {
+			t.Masked++
+			t.masked[j>>6] |= 1 << (uint(j) & 63)
+			continue // pruned: column stays empty
+		}
+		for b := 0; b < nb; b++ {
+			c := counts[b][j]
+			counts[b][j] = run
+			run += c
+		}
+	}
+	t.ColStart[d] = run
+
+	t.Rows = make([]int32, run)
+	t.Pos = make([]int32, run)
+	par.Run(w, nb, func(_, b int) {
+		cur := counts[b]
+		for r := blocks[b]; r < blocks[b+1]; r++ {
+			r32 := int32(r)
+			for e := m.RowStart[r]; e < m.RowStart[r+1]; e++ {
+				j := m.Cols[e]
+				if t.masked[j>>6]&(1<<(uint(j)&63)) != 0 {
+					continue
+				}
+				p := cur[j]
+				cur[j] = p + 1
+				t.Rows[p] = r32
+				t.Pos[p] = m.Pos[e]
+			}
+		}
+	})
+	return t
+}
+
+// TransposeFromEnts builds the pruned transpose directly from an
+// occurrence list, skipping the CSR intermediate: after the stable radix
+// sort the entries are already in CSC order (grouped by key; within a
+// key, (row, pos) ascending because enumeration appends rows in order),
+// so one linear pass emits the dictionary, the prefix starts, and the
+// kept postings. Output is identical to Build(...).Transpose(...) — the
+// equivalence the fuzz harness pins — at roughly half the passes, which
+// is why the overlap engine's reference side uses it. ents is reordered
+// in place and not retained after return; rows/k bounds as in Build.
+func TransposeFromEnts(k, rows int, ents []Ent, maxOccur int) *Transpose {
+	if k <= 0 || k > dna.MaxK {
+		panic(fmt.Sprintf("spmat: k=%d out of range [1,%d]", k, dna.MaxK))
+	}
+	if rows < 0 {
+		panic(fmt.Sprintf("spmat: %d rows", rows))
+	}
+	for i := range ents {
+		if ents[i].Row < 0 || int(ents[i].Row) >= rows {
+			panic(fmt.Sprintf("spmat: entry row %d outside [0,%d)", ents[i].Row, rows))
+		}
+	}
+	t := &Transpose{K: k, NumCols: rows}
+	if pk := packKeys(ents, k); pk != nil {
+		// First scan: dictionary size and the kept-postings total, so
+		// every output array is allocated exactly once at its final size.
+		distinct, kept := 0, 0
+		for i := 0; i < len(pk); {
+			key := pk[i] >> 32
+			j := i + 1
+			for j < len(pk) && pk[j]>>32 == key {
+				j++
+			}
+			distinct++
+			if !dna.RepeatMasked(j-i, maxOccur) {
+				kept += j - i
+			}
+			i = j
+		}
+		t.alloc(distinct, kept)
+		for i := 0; i < len(pk); {
+			key := pk[i] >> 32
+			j := i + 1
+			for j < len(pk) && pk[j]>>32 == key {
+				j++
+			}
+			if t.emitColumn(key, maxOccur, j-i) {
+				for e := i; e < j; e++ {
+					ent := &ents[uint32(pk[e])]
+					t.Rows = append(t.Rows, ent.Row)
+					t.Pos = append(t.Pos, ent.Pos)
+				}
+			}
+			i = j
+		}
+		putU64(pk)
+		t.ColStart = append(t.ColStart, int32(len(t.Rows)))
+		return t
+	}
+
+	ents = radixSortEnts(ents, k)
+	distinct, kept := 0, 0
+	for i := 0; i < len(ents); {
+		j := i + 1
+		for j < len(ents) && ents[j].Key == ents[i].Key {
+			j++
+		}
+		distinct++
+		if !dna.RepeatMasked(j-i, maxOccur) {
+			kept += j - i
+		}
+		i = j
+	}
+	t.alloc(distinct, kept)
+	for i := 0; i < len(ents); {
+		j := i + 1
+		for j < len(ents) && ents[j].Key == ents[i].Key {
+			j++
+		}
+		if t.emitColumn(ents[i].Key, maxOccur, j-i) {
+			for e := i; e < j; e++ {
+				t.Rows = append(t.Rows, ents[e].Row)
+				t.Pos = append(t.Pos, ents[e].Pos)
+			}
+		}
+		i = j
+	}
+	t.ColStart = append(t.ColStart, int32(len(t.Rows)))
+	return t
+}
+
+// alloc sizes every output array exactly.
+func (t *Transpose) alloc(distinct, kept int) {
+	t.Keys = make([]uint64, 0, distinct)
+	t.ColStart = make([]int32, 0, distinct+1)
+	t.masked = make([]uint64, (distinct+63)/64)
+	t.Rows = make([]int32, 0, kept)
+	t.Pos = make([]int32, 0, kept)
+}
+
+// emitColumn appends one dictionary column of n occurrences and reports
+// whether the caller should copy its postings: pruned columns get the
+// mask bit and stay empty.
+func (t *Transpose) emitColumn(key uint64, maxOccur, n int) bool {
+	col := len(t.Keys)
+	t.Keys = append(t.Keys, key)
+	t.ColStart = append(t.ColStart, int32(len(t.Rows)))
+	if dna.RepeatMasked(n, maxOccur) {
+		t.Masked++
+		t.masked[col>>6] |= 1 << (uint(col) & 63)
+		return false
+	}
+	return true
+}
+
+// TransposeFromSeqs enumerates every N-free k-mer window of each
+// sequence (BuildFromSeqs semantics, one row per sequence) and builds
+// the pruned transpose directly via TransposeFromEnts.
+func TransposeFromSeqs(seqs [][]byte, k, maxOccur int) *Transpose {
+	bound := 0
+	for _, s := range seqs {
+		if n := len(s) - k + 1; n > 0 {
+			bound += n
+		}
+	}
+	ents := getEnts(bound)
+	for r, s := range seqs {
+		r32 := int32(r)
+		dna.ForEachKmer(s, k, func(km dna.Kmer, off int) {
+			ents = append(ents, Ent{Key: uint64(km), Row: r32, Pos: int32(off)})
+		})
+	}
+	t := TransposeFromEnts(k, len(seqs), ents, maxOccur)
+	putEnts(ents)
+	return t
+}
+
+// rowBlocks partitions rows into n contiguous blocks of roughly equal
+// entry count, returning the n+1 row boundaries (some blocks may be
+// empty when rows are few or skewed).
+func rowBlocks(rowStart []int32, n int) []int {
+	rows := len(rowStart) - 1
+	total := int(rowStart[rows])
+	bounds := make([]int, n+1)
+	r := 0
+	for b := 1; b < n; b++ {
+		target := total * b / n
+		for r < rows && int(rowStart[r]) < target {
+			r++
+		}
+		bounds[b] = r
+	}
+	bounds[n] = rows
+	return bounds
+}

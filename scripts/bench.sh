@@ -115,6 +115,35 @@ if bad:
         sys.exit(1)
 EOF
 
+echo "== overlapbench (BENCH_overlap.json) =="
+go run ./cmd/focus-bench -exp overlapbench
+
+# The SpGEMM engine's product is row-blocked over the par governor, so
+# like the graph check its parallel probe must never lose to serial —
+# and the candgen headline (spmat vs the k-mer-table probe path it
+# competes with) is printed for the drift record.
+echo "== regression check: spmat parallel vs serial =="
+python3 - <<'EOF'
+import json, os, sys
+
+tol = float(os.environ.get("BENCH_TOLERANCE", "0.10"))
+fresh = {e["name"]: e["ns_per_op"] for e in json.load(open("BENCH_overlap.json"))}
+
+serial, parallel = fresh["overlap_spmat_serial"], fresh["overlap_spmat_parallel"]
+ratio = parallel / serial
+mark = "FAIL" if ratio > 1 + tol else "ok"
+print(f"  overlap_spmat_parallel   {ratio:5.2f}x of overlap_spmat_serial [{mark}]")
+print(f"  candgen speedup: {fresh['overlap_candgen_kmertable'] / fresh['overlap_candgen_spmat']:.2f}x (spmat vs kmertable)")
+if ratio > 1 + tol:
+    msg = f"overlap_spmat_parallel ({ratio:.2f}x)"
+    if os.environ.get("BENCH_ALLOW_REGRESSION", "0") == "1":
+        print(f"WARNING: parallel slower than serial: {msg}")
+    else:
+        print(f"FAIL: parallel slower than serial: {msg}", file=sys.stderr)
+        print("      (BENCH_ALLOW_REGRESSION=1 to override)", file=sys.stderr)
+        sys.exit(1)
+EOF
+
 echo "== wirebench (BENCH_wire.json) =="
 go run ./cmd/focus-bench -exp wirebench
 
@@ -122,5 +151,6 @@ echo "== package micro-benchmarks =="
 go test -run xxx -bench 'Pack|Unpack' -benchtime 200ms ./internal/dna/
 go test -run xxx -bench 'LiveNeighbourQueries|SubgraphExtract' -benchtime 200ms ./internal/assembly/
 go test -run xxx -bench 'BandedNWBitParallel|OverlapKernel' -benchtime 200ms ./internal/align/
+go test -run xxx -bench 'Spmat|CandGen' -benchtime 200ms ./internal/spmat/ ./internal/overlap/
 
 echo "ok"

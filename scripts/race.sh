@@ -25,7 +25,7 @@ go test -race \
     ./internal/dist/... ./internal/assembly/... ./internal/overlap/... \
     ./internal/graph/... ./internal/coarsen/... ./internal/hybrid/... \
     ./internal/partition/... ./internal/checkpoint/... \
-    ./internal/align/... ./internal/par/...
+    ./internal/align/... ./internal/par/... ./internal/spmat/...
 
 echo "== race: wire chaos sweep =="
 go test -race -run Wire ./internal/dist/ ./internal/assembly/ ./internal/overlap/
@@ -51,6 +51,8 @@ if [ "$FUZZTIME" != "0" ]; then
     fuzz ./internal/overlap/ FuzzWireDecoders
     fuzz ./internal/checkpoint/ FuzzDecode
     fuzz ./internal/align/ FuzzBitParallelNW
+    fuzz ./internal/spmat/ FuzzCSRBuild
+    fuzz ./internal/spmat/ FuzzCandDecode
 fi
 
 echo "ok"
