@@ -1,0 +1,63 @@
+package spmat
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Reuse one Multiplier across two multiplies where the second transpose is
+// wider (dense regrow resets gen) and uses the hash accumulator; compare
+// against a fresh Multiplier.
+func TestStaleGenReuseProbe(t *testing.T) {
+	mkEnts := func(rows, perRow int) []Ent {
+		var ents []Ent
+		for r := 0; r < rows; r++ {
+			for p := 0; p < perRow; p++ {
+				// shared keys so rows collide
+				ents = append(ents, Ent{Key: uint64(p % 7), Row: int32(r), Pos: int32(p)})
+			}
+		}
+		return ents
+	}
+	run := func(mu *Multiplier, q *Matrix, tr *Transpose) map[int32][]Cand {
+		out := map[int32][]Cand{}
+		opts := &MultiplyOpts{Acc: AccHash}
+		for lo := 0; lo < q.NumRows; lo += BlockRows {
+			mu.MultiplyBlock(q, tr, opts, lo, lo+BlockRows, func(row int32, cands []Cand) {
+				cp := make([]Cand, len(cands))
+				copy(cp, cands)
+				out[row] = cp
+			})
+		}
+		return out
+	}
+
+	// First run: small matrix (rows=5000 > 4096 so hash path is realistic;
+	// AccHash forces it anyway).
+	e1 := mkEnts(5000, 4)
+	m1 := Build(8, 5000, e1)
+	t1 := m1.Transpose(0, 1)
+
+	e2 := mkEnts(6000, 4)
+	m2 := Build(8, 6000, e2)
+	t2 := m2.Transpose(0, 1)
+
+	reused := NewMultiplier()
+	_ = run(reused, m1, t1) // leaves stale htab stamps; gen advanced
+	got := run(reused, m2, t2)
+
+	want := run(NewMultiplier(), m2, t2)
+	if !reflect.DeepEqual(got, want) {
+		nbad := 0
+		for r, w := range want {
+			g := got[r]
+			if !reflect.DeepEqual(g, w) {
+				nbad++
+				if nbad <= 3 {
+					t.Logf("row %d: got %v want %v", r, g, w)
+				}
+			}
+		}
+		t.Fatalf("reused multiplier output differs from fresh on %d rows", nbad)
+	}
+}
