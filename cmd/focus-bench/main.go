@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"sync/atomic"
@@ -60,7 +61,7 @@ type harness struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|table3|fig7|baselines|graphbench|alignbench|overlapbench|wirebench|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|table3|fig7|baselines|graphbench|alignbench|overlapbench|phasebench|wirebench|all")
 		scale      = flag.Float64("scale", 0.35, "data set scale factor (1.0 = ~140kb communities)")
 		coverage   = flag.Float64("coverage", 8, "read coverage")
 		runs       = flag.Int("runs", 3, "repetitions for timed runs (Fig. 4)")
@@ -128,6 +129,7 @@ func main() {
 	run("graphbench", h.graphbench)
 	run("alignbench", h.alignbench)
 	run("overlapbench", h.overlapbench)
+	run("phasebench", h.phasebench)
 	run("wirebench", h.wirebench)
 }
 
@@ -708,6 +710,150 @@ func (h *harness) overlapbench() error {
 	fmt.Printf("  e2e speedup:     %.2fx\n", float64(rows[2].NsPerOp)/float64(rows[3].NsPerOp))
 
 	f, err := os.Create("BENCH_overlap.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// phasebench contrasts the graph-cleaning scan engines — the reference
+// map walker vs the CSR kernels with the masked-product transitive
+// reduction — on a dense synthetic subgraph, gated on byte-identical
+// removals before any timing. Writes BENCH_phase.json.
+func (h *harness) phasebench() error {
+	// Dense transitive-heavy subgraph: 3000 nodes tiled 10 bp apart along
+	// one genome, each overlapping its next 20 successors with exact
+	// composing diagonals (Diag(v,v+i) + Diag(v+i,v+j) == Diag(v,v+j)), so
+	// nearly every edge is transitively implied and the masked product
+	// does real accumulator work on every row. Containment and error
+	// scans run on the same graph to time their CSR paths on dense
+	// adjacency.
+	const (
+		nNodes = 3000
+		deg    = 20
+		step   = 10
+		ctgLen = 300
+	)
+	rng := rand.New(rand.NewSource(17))
+	bases := []byte("ACGT")
+	genome := make([]byte, nNodes*step+ctgLen)
+	for i := range genome {
+		genome[i] = bases[rng.Intn(4)]
+	}
+	sub := &assembly.Subgraph{}
+	for v := 0; v < nNodes; v++ {
+		sub.Nodes = append(sub.Nodes, assembly.WireNode{
+			ID:     int32(v),
+			Weight: int64(1 + rng.Intn(30)),
+			Contig: genome[v*step : v*step+ctgLen],
+		})
+		sub.Local = append(sub.Local, int32(v))
+	}
+	for v := 0; v < nNodes; v++ {
+		for j := 1; j <= deg && v+j < nNodes; j++ {
+			sub.Edges = append(sub.Edges, assembly.Edge{
+				From: int32(v), To: int32(v + j),
+				Diag: int32(j * step), Len: int32(ctgLen - j*step), Ident: 1,
+			})
+		}
+	}
+
+	mapCfg := assembly.DefaultConfig()
+	mapCfg.Engine = assembly.PhaseEngineMap
+	csrCfg := assembly.DefaultConfig()
+	csrCfg.Engine = assembly.PhaseEngineCSR
+
+	// Equivalence gate before timing: every scan must return deeply equal
+	// removals from both engines at several worker counts, or the numbers
+	// below are meaningless.
+	wantT := assembly.TransitiveEdges(sub, mapCfg)
+	wantC := assembly.ContainmentScan(sub, mapCfg)
+	wantE := assembly.ErrorScan(sub, mapCfg)
+	for _, w := range []int{0, 1, 2, 8} {
+		wCfg := csrCfg
+		wCfg.Workers = w
+		if got := assembly.TransitiveEdges(sub, wCfg); !reflect.DeepEqual(got, wantT) {
+			return fmt.Errorf("phasebench: TransitiveEdges diverges at workers=%d", w)
+		}
+		if got := assembly.ContainmentScan(sub, wCfg); !reflect.DeepEqual(got, wantC) {
+			return fmt.Errorf("phasebench: ContainmentScan diverges at workers=%d", w)
+		}
+		if got := assembly.ErrorScan(sub, wCfg); !reflect.DeepEqual(got, wantE) {
+			return fmt.Errorf("phasebench: ErrorScan diverges at workers=%d", w)
+		}
+	}
+	fmt.Printf("Phase engines — map walker vs CSR kernels (%d nodes, %d edges, %d transitive)\n",
+		len(sub.Nodes), len(sub.Edges), len(wantT))
+
+	bench := func(f func() int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		}
+	}
+	trans := func(cfg assembly.Config) func(b *testing.B) {
+		return bench(func() int { return len(assembly.TransitiveEdges(sub, cfg)) })
+	}
+	contain := func(cfg assembly.Config) func(b *testing.B) {
+		return bench(func() int { return len(assembly.ContainmentScan(sub, cfg).Edges) })
+	}
+	errs := func(cfg assembly.Config) func(b *testing.B) {
+		return bench(func() int { return len(assembly.ErrorScan(sub, cfg).Nodes) })
+	}
+	allThree := func(cfg assembly.Config) func(b *testing.B) {
+		return bench(func() int {
+			n := len(assembly.TransitiveEdges(sub, cfg))
+			n += len(assembly.ContainmentScan(sub, cfg).Edges)
+			return n + len(assembly.ErrorScan(sub, cfg).Nodes)
+		})
+	}
+	serialCfg := csrCfg
+	serialCfg.Workers = 1
+	probes := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"phase_transitive_map", trans(mapCfg)},
+		{"phase_transitive_csr", trans(csrCfg)},
+		{"phase_containment_map", contain(mapCfg)},
+		{"phase_containment_csr", contain(csrCfg)},
+		{"phase_errors_map", errs(mapCfg)},
+		{"phase_errors_csr", errs(csrCfg)},
+		{"phase_serial", allThree(serialCfg)},
+		{"phase_parallel", allThree(csrCfg)},
+	}
+	best := make([]testing.BenchmarkResult, len(probes))
+	for round := 0; round < 5; round++ {
+		for i, p := range probes {
+			r := testing.Benchmark(p.fn)
+			if round == 0 || r.NsPerOp() < best[i].NsPerOp() {
+				best[i] = r
+			}
+		}
+	}
+	type row struct {
+		Name        string `json:"name"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		BytesPerOp  int64  `json:"b_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	}
+	var rows []row
+	for i, p := range probes {
+		r := best[i]
+		rows = append(rows, row{p.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp()})
+		fmt.Printf("  %-26s %12d ns/op %12d B/op %9d allocs/op\n",
+			p.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	fmt.Printf("  transitive speedup:  %.2fx\n", float64(rows[0].NsPerOp)/float64(rows[1].NsPerOp))
+	fmt.Printf("  containment speedup: %.2fx\n", float64(rows[2].NsPerOp)/float64(rows[3].NsPerOp))
+	fmt.Printf("  errors speedup:      %.2fx\n", float64(rows[4].NsPerOp)/float64(rows[5].NsPerOp))
+
+	f, err := os.Create("BENCH_phase.json")
 	if err != nil {
 		return err
 	}

@@ -74,6 +74,21 @@ const (
 	EngineSpGEMM = overlap.EngineSpGEMM
 )
 
+// PhaseEngine selects the graph-cleaning scan implementation
+// (re-exported so API users outside the module can set
+// Config.Assembly.Engine). Both engines return byte-identical removals.
+type PhaseEngine = assembly.PhaseEngine
+
+const (
+	// PhaseEngineCSR is the default engine: scans run over a flat CSR
+	// adjacency view with the transitive-reduction pass phrased as a
+	// masked sparse product, row-blocked across the par governor.
+	PhaseEngineCSR = assembly.PhaseEngineCSR
+	// PhaseEngineMap is the reference map-walking engine the CSR
+	// kernels are property-tested against.
+	PhaseEngineMap = assembly.PhaseEngineMap
+)
+
 // Config bundles the per-stage configurations.
 type Config struct {
 	Preprocess preprocess.Config
@@ -86,7 +101,8 @@ type Config struct {
 	Assembly assembly.Config
 	// GraphWorkers bounds the worker pools of the graph-construction
 	// stages: the overlap-graph CSR edge merge, coarsening
-	// (matching + contraction) and the hybrid layout search. 0 means
+	// (matching + contraction), the hybrid layout search and the CSR
+	// graph-cleaning scans. 0 means
 	// auto: the internal/par governor picks serial or parallel per stage
 	// invocation from the input size and GOMAXPROCS, so small inputs skip
 	// goroutine fan-out entirely. Explicit counts are still capped at
@@ -220,6 +236,9 @@ func (cfg Config) applyGraphWorkers() Config {
 		}
 		if cfg.Hybrid.Workers == 0 {
 			cfg.Hybrid.Workers = cfg.GraphWorkers
+		}
+		if cfg.Assembly.Workers == 0 {
+			cfg.Assembly.Workers = cfg.GraphWorkers
 		}
 	}
 	return cfg

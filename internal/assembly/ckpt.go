@@ -124,6 +124,12 @@ func (cs *CheckpointState) DecodeFrom(src []byte) error {
 	}
 	for v := range g.Out {
 		for _, e := range g.Out[v] {
+			// Endpoints come off the wire; a To outside the decoded node
+			// range means a corrupt frame, not a panic.
+			if e.To < 0 || int(e.To) >= n {
+				cs.Graph = nil
+				return fmt.Errorf("assembly: checkpoint edge %d->%d outside %d nodes", e.From, e.To, n)
+			}
 			g.In[e.To] = append(g.In[e.To], e)
 		}
 	}

@@ -1,9 +1,24 @@
 package assembly
 
 import (
-	"sort"
+	"slices"
 
 	"focus/internal/align"
+)
+
+// PhaseEngine selects the implementation of the per-subgraph cleaning
+// scans (TransitiveEdges, ContainmentScan, ErrorScan). Both engines are
+// byte-identical on every input; the map engine is the historical
+// reference kept as the equivalence oracle for tests and benchmarks.
+type PhaseEngine uint8
+
+const (
+	// PhaseEngineCSR (the default) runs the scans on a flat CSR adjacency
+	// view, parallelized by row blocks over the par governor, with
+	// transitive reduction as a masked sparse product (DESIGN.md §15).
+	PhaseEngineCSR PhaseEngine = iota
+	// PhaseEngineMap is the original serial map-based implementation.
+	PhaseEngineMap
 )
 
 // Config bounds the trimming phases. Defaults follow the paper: false
@@ -32,6 +47,14 @@ type Config struct {
 	// their workers once and later phases send only the removals applied
 	// since (closer to the paper's MPI ranks, and cheaper on the wire).
 	Stateful bool
+	// Engine selects the scan implementation (identical results; see
+	// PhaseEngine). The zero value is the CSR engine.
+	Engine PhaseEngine
+	// Workers bounds the row-block fan-out of the CSR scans inside one
+	// subgraph (<= 0 auto: the par governor sizes the pool from the local
+	// node count and GOMAXPROCS). Purely a throughput knob — scan output
+	// is identical at any value.
+	Workers int
 }
 
 // DefaultConfig returns the paper-aligned trimming configuration.
@@ -67,7 +90,19 @@ type Subgraph struct {
 // EdgePair identifies a directed edge on the wire.
 type EdgePair struct{ From, To int32 }
 
-// view is a worker-local indexed form of a Subgraph.
+// viewParts selects which halves of a view a scan needs; building only
+// the consumed half keeps the oracle path honest about its costs (the
+// transitive scan reads out-adjacency only — its in-half would be pure
+// wasted allocation).
+type viewParts uint8
+
+const (
+	viewOut viewParts = 1 << iota
+	viewIn
+	viewLive // precompute the non-containment subsets (liveOut/liveIn)
+)
+
+// view is a worker-local indexed form of a Subgraph (the map engine).
 type view struct {
 	sub     *Subgraph
 	part    map[int32]int32
@@ -82,15 +117,13 @@ type view struct {
 	lin  map[int32][]Edge
 }
 
-func newView(sub *Subgraph) *view {
+func newView(sub *Subgraph, parts viewParts) *view {
 	v := &view{
 		sub:     sub,
 		part:    make(map[int32]int32, len(sub.Nodes)),
 		weight:  make(map[int32]int64, len(sub.Nodes)),
 		contig:  make(map[int32][]byte, len(sub.Nodes)),
 		isLocal: make(map[int32]bool, len(sub.Local)),
-		out:     make(map[int32][]Edge),
-		in:      make(map[int32][]Edge),
 	}
 	for _, n := range sub.Nodes {
 		v.part[n.ID] = n.Part
@@ -100,12 +133,24 @@ func newView(sub *Subgraph) *view {
 	for _, id := range sub.Local {
 		v.isLocal[id] = true
 	}
-	for _, e := range sub.Edges {
-		v.out[e.From] = append(v.out[e.From], e)
-		v.in[e.To] = append(v.in[e.To], e)
+	if parts&viewOut != 0 {
+		v.out = make(map[int32][]Edge)
+		for _, e := range sub.Edges {
+			v.out[e.From] = append(v.out[e.From], e)
+		}
+		if parts&viewLive != 0 {
+			v.lout = liveSubsets(v.out)
+		}
 	}
-	v.lout = liveSubsets(v.out)
-	v.lin = liveSubsets(v.in)
+	if parts&viewIn != 0 {
+		v.in = make(map[int32][]Edge)
+		for _, e := range sub.Edges {
+			v.in[e.To] = append(v.in[e.To], e)
+		}
+		if parts&viewLive != 0 {
+			v.lin = liveSubsets(v.in)
+		}
+	}
 	return v
 }
 
@@ -150,7 +195,14 @@ func (v *view) liveIn(id int32) []Edge { return v.lin[id] }
 // when some v->w and w->x exist whose placements compose to v->x within
 // DiagTolerance.
 func TransitiveEdges(sub *Subgraph, cfg Config) []EdgePair {
-	v := newView(sub)
+	if cfg.Engine == PhaseEngineMap {
+		return transitiveEdgesMap(sub, cfg)
+	}
+	return transitiveEdgesCSR(sub, cfg)
+}
+
+func transitiveEdgesMap(sub *Subgraph, cfg Config) []EdgePair {
+	v := newView(sub, viewOut|viewLive)
 	var out []EdgePair
 	for _, id := range sub.Local {
 		outs := v.liveOut(id)
@@ -179,23 +231,62 @@ func TransitiveEdges(sub *Subgraph, cfg Config) []EdgePair {
 			}
 		}
 	}
-	return dedupePairs(out)
+	var keys []uint64
+	return dedupePairs(out, &keys)
 }
 
-func dedupePairs(pairs []EdgePair) []EdgePair {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].From != pairs[j].From {
-			return pairs[i].From < pairs[j].From
+// packPair folds an EdgePair into one uint64 whose unsigned order equals
+// the (From, To) signed lexicographic order (the sign bit is flipped into
+// a bias), so dedupePairs can sort raw integers instead of structs.
+func packPair(p EdgePair) uint64 {
+	return uint64(uint32(p.From)^0x80000000)<<32 | uint64(uint32(p.To)^0x80000000)
+}
+
+func unpackPair(k uint64) EdgePair {
+	return EdgePair{
+		From: int32(uint32(k>>32) ^ 0x80000000),
+		To:   int32(uint32(k) ^ 0x80000000),
+	}
+}
+
+// dedupePairs sorts pairs by (From, To) and drops duplicates in place.
+// *keys is caller-provided scratch (grown as needed and returned through
+// the pointer) so repeated scans on pooled state sort allocation-free.
+func dedupePairs(pairs []EdgePair, keys *[]uint64) []EdgePair {
+	if len(pairs) == 0 {
+		return pairs // preserves nil vs empty
+	}
+	ks := (*keys)[:0]
+	for _, p := range pairs {
+		ks = append(ks, packPair(p))
+	}
+	slices.Sort(ks)
+	*keys = ks
+	n := 0
+	for i, k := range ks {
+		if i > 0 && k == ks[i-1] {
+			continue
 		}
-		return pairs[i].To < pairs[j].To
-	})
-	out := pairs[:0]
-	for i, p := range pairs {
-		if i == 0 || p != pairs[i-1] {
-			out = append(out, p)
+		pairs[n] = unpackPair(k)
+		n++
+	}
+	return pairs[:n]
+}
+
+// dedupeNodes sorts a node-id list and drops duplicates in place.
+func dedupeNodes(ns []int32) []int32 {
+	if len(ns) == 0 {
+		return ns
+	}
+	slices.Sort(ns)
+	n := 0
+	for i, v := range ns {
+		if i == 0 || v != ns[i-1] {
+			ns[n] = v
+			n++
 		}
 	}
-	return out
+	return ns[:n]
 }
 
 // Removal is the result of a containment or error scan.
@@ -210,7 +301,14 @@ type Removal struct {
 // overlap is shorter than MinEdgeOverlap or below MinEdgeIdentity are
 // false positives and recorded for removal.
 func ContainmentScan(sub *Subgraph, cfg Config) Removal {
-	v := newView(sub)
+	if cfg.Engine == PhaseEngineMap {
+		return containmentScanMap(sub, cfg)
+	}
+	return containmentScanCSR(sub, cfg)
+}
+
+func containmentScanMap(sub *Subgraph, cfg Config) Removal {
+	v := newView(sub, viewOut|viewIn)
 	var rm Removal
 	nodeSet := map[int32]bool{}
 	check := func(e Edge) {
@@ -248,15 +346,23 @@ func ContainmentScan(sub *Subgraph, cfg Config) Removal {
 			}
 		}
 	}
-	rm.Edges = dedupePairs(rm.Edges)
-	sort.Slice(rm.Nodes, func(i, j int) bool { return rm.Nodes[i] < rm.Nodes[j] })
+	var keys []uint64
+	rm.Edges = dedupePairs(rm.Edges, &keys)
+	slices.Sort(rm.Nodes)
 	return rm
 }
 
 // ErrorScan finds short dead-end paths and bubbles among local nodes
 // (paper §V.C, following Velvet's tips-and-bubbles trimming).
 func ErrorScan(sub *Subgraph, cfg Config) Removal {
-	v := newView(sub)
+	if cfg.Engine == PhaseEngineMap {
+		return errorScanMap(sub, cfg)
+	}
+	return errorScanCSR(sub, cfg)
+}
+
+func errorScanMap(sub *Subgraph, cfg Config) Removal {
+	v := newView(sub, viewOut|viewIn|viewLive)
 	var rm Removal
 	mark := map[int32]bool{}
 
@@ -367,7 +473,7 @@ func ErrorScan(sub *Subgraph, cfg Config) Removal {
 			}
 		}
 	}
-	sort.Slice(rm.Nodes, func(i, j int) bool { return rm.Nodes[i] < rm.Nodes[j] })
+	slices.Sort(rm.Nodes)
 	return rm
 }
 
@@ -376,7 +482,7 @@ func ErrorScan(sub *Subgraph, cfg Config) Removal {
 // by out-edges while the next node has a unique in-edge, lies in the same
 // partition and is unvisited, then symmetrically grown by in-edges.
 func ExtractPaths(sub *Subgraph, cfg Config) [][]int32 {
-	v := newView(sub)
+	v := newView(sub, viewOut|viewIn|viewLive)
 	inPath := map[int32]bool{}
 	var paths [][]int32
 	for _, id := range sub.Local {

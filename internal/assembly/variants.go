@@ -81,7 +81,7 @@ func DefaultVariantConfig() VariantConfig {
 // placement (a repeat boundary, by contrast, has unrelated continuations
 // and is rejected by the identity filter).
 func ScanVariants(sub *Subgraph, cfg VariantConfig) []Variant {
-	v := newView(sub)
+	v := newView(sub, viewOut|viewIn|viewLive)
 	seen := map[[2]int32]bool{}
 	var out []Variant
 

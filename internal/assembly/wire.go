@@ -81,7 +81,9 @@ func appendConfig(dst []byte, c *Config) []byte {
 	dst = dist.AppendVarint(dst, int64(c.MaxTipNodes))
 	dst = dist.AppendVarint(dst, int64(c.MinTipLen))
 	dst = dist.AppendVarint(dst, int64(c.RPCRetries))
-	return dist.AppendBool(dst, c.Stateful)
+	dst = dist.AppendBool(dst, c.Stateful)
+	dst = append(dst, byte(c.Engine))
+	return dist.AppendVarint(dst, int64(c.Workers))
 }
 
 func decodeConfig(rd *dist.WireReader, c *Config) {
@@ -93,6 +95,8 @@ func decodeConfig(rd *dist.WireReader, c *Config) {
 	c.MinTipLen = int(rd.Varint())
 	c.RPCRetries = int(rd.Varint())
 	c.Stateful = rd.Bool()
+	c.Engine = PhaseEngine(rd.Byte())
+	c.Workers = int(rd.Varint())
 }
 
 func appendVariantConfig(dst []byte, c *VariantConfig) []byte {

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the committed benchmark artifacts (BENCH_graph.json,
-# BENCH_align.json, BENCH_wire.json) and runs the package
+# BENCH_align.json, BENCH_overlap.json, BENCH_phase.json,
+# BENCH_wire.json) and runs the package
 # micro-benchmarks, with a vet+gofmt guard in front so numbers are never
 # published from a tree that wouldn't pass review. Set RACE_GATE=1 to
 # additionally run the full robustness gate (scripts/race.sh) before
@@ -136,6 +137,35 @@ print(f"  overlap_spmat_parallel   {ratio:5.2f}x of overlap_spmat_serial [{mark}
 print(f"  candgen speedup: {fresh['overlap_candgen_kmertable'] / fresh['overlap_candgen_spmat']:.2f}x (spmat vs kmertable)")
 if ratio > 1 + tol:
     msg = f"overlap_spmat_parallel ({ratio:.2f}x)"
+    if os.environ.get("BENCH_ALLOW_REGRESSION", "0") == "1":
+        print(f"WARNING: parallel slower than serial: {msg}")
+    else:
+        print(f"FAIL: parallel slower than serial: {msg}", file=sys.stderr)
+        print("      (BENCH_ALLOW_REGRESSION=1 to override)", file=sys.stderr)
+        sys.exit(1)
+EOF
+
+echo "== phasebench (BENCH_phase.json) =="
+go run ./cmd/focus-bench -exp phasebench
+
+# The CSR graph-cleaning kernels are row-blocked over the same governor,
+# so the combined-scan parallel probe must never lose to its serial
+# sibling; the transitive-reduction headline (masked product vs the map
+# walker it replaced) is printed for the drift record.
+echo "== regression check: phase parallel vs serial =="
+python3 - <<'EOF'
+import json, os, sys
+
+tol = float(os.environ.get("BENCH_TOLERANCE", "0.10"))
+fresh = {e["name"]: e["ns_per_op"] for e in json.load(open("BENCH_phase.json"))}
+
+serial, parallel = fresh["phase_serial"], fresh["phase_parallel"]
+ratio = parallel / serial
+mark = "FAIL" if ratio > 1 + tol else "ok"
+print(f"  phase_parallel           {ratio:5.2f}x of phase_serial [{mark}]")
+print(f"  transitive speedup: {fresh['phase_transitive_map'] / fresh['phase_transitive_csr']:.2f}x (csr vs map)")
+if ratio > 1 + tol:
+    msg = f"phase_parallel ({ratio:.2f}x)"
     if os.environ.get("BENCH_ALLOW_REGRESSION", "0") == "1":
         print(f"WARNING: parallel slower than serial: {msg}")
     else:

@@ -48,6 +48,7 @@ if [ "$FUZZTIME" != "0" ]; then
     fuzz ./internal/dist/ FuzzWireReader
     fuzz ./internal/dist/ FuzzReadFrame
     fuzz ./internal/assembly/ FuzzWireDecoders
+    fuzz ./internal/assembly/ FuzzPhaseEngines
     fuzz ./internal/overlap/ FuzzWireDecoders
     fuzz ./internal/checkpoint/ FuzzDecode
     fuzz ./internal/align/ FuzzBitParallelNW
