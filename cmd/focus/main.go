@@ -108,6 +108,7 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "write crash-recovery checkpoints of the assembly phases to this directory")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every Nth phase boundary (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume the assembly phases from the newest valid checkpoint in -checkpoint-dir")
+		jobID     = flag.String("job", "", "job id owning -checkpoint-dir; a mismatched owner fails the run instead of mixing two jobs' checkpoints (empty = no ownership check)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the whole run; on expiry the run is canceled like SIGINT (0 = unbounded)")
 		watchdog  = flag.Duration("watchdog", 0, "cancel-or-kick window of the assembly progress watchdog: with no task completions for this long, stuck workers are kicked, then the run is canceled (0 = disarmed)")
 		grace     = flag.Duration("grace", 10*time.Second, "unwind budget after SIGINT/SIGTERM before the exit is forced")
@@ -140,9 +141,12 @@ func main() {
 	cfg.CallVariants = *variants
 	cfg.Dist.CallTimeout = *callTO
 	cfg.Dist.MaxFailures = *maxFails
-	cfg.Checkpoint = focus.Checkpoint{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
+	cfg.Checkpoint = focus.Checkpoint{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume, Job: *jobID}
 	if *resume && *ckptDir == "" {
 		fatal(fmt.Errorf("focus: -resume requires -checkpoint-dir"))
+	}
+	if *jobID != "" && *ckptDir == "" {
+		fatal(fmt.Errorf("focus: -job requires -checkpoint-dir"))
 	}
 	sigCtx, stopSignals := watchSignals(context.Background(), *grace)
 	defer stopSignals()

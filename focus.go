@@ -141,6 +141,15 @@ type Config struct {
 	// exhausted, the run is canceled with assembly.ErrStalled. The zero
 	// value disarms it.
 	Watchdog assembly.WatchdogConfig
+	// Metrics, when set, receives the run's operational metrics (re-host /
+	// degradation counters, per-phase latency histograms). A resident
+	// master shares one registry across every job it hosts. Nil disables
+	// instrumentation.
+	Metrics *metrics.Registry
+	// PhaseCosts, when set, replaces the driver's private per-phase cost
+	// model for deadline budgeting, letting a resident master pool phase-
+	// duration observations across jobs. Nil keeps the per-run default.
+	PhaseCosts *metrics.CostModel
 }
 
 // ErrDeadline is the cancellation cause installed when Config.Deadline
@@ -198,6 +207,12 @@ type Checkpoint struct {
 	// holds no checkpoint at all the run starts fresh; when it holds only
 	// corrupt ones the run fails loudly rather than silently restarting.
 	Resume bool
+	// Job, when non-empty, claims Dir as this job's checkpoint namespace:
+	// the first run stamps Dir with the job id, and any later run claiming
+	// it under a different id fails with checkpoint.ErrNamespace instead
+	// of silently interleaving two jobs' checkpoint frames. Empty skips
+	// the ownership check (single-tenant compatibility).
+	Job string
 }
 
 // Variant is a distributed variant call (re-exported).
@@ -495,6 +510,14 @@ func (s *Stages) Assemble(pool *dist.Pool, k, procs int, seed int64) (*AssemblyR
 	var driver *assembly.Driver
 	var labels []int32
 	ck := s.Cfg.Checkpoint
+	if ck.Dir != "" && ck.Job != "" {
+		// Namespace ownership is checked before any checkpoint is read or
+		// written: resuming another job's frames must fail loudly
+		// (checkpoint.ErrNamespace), never produce a silently mixed graph.
+		if err := checkpoint.Claim(ck.Dir, ck.Job); err != nil {
+			return nil, fmt.Errorf("focus: checkpoint namespace: %w", err)
+		}
+	}
 	if ck.Resume && ck.Dir != "" {
 		cs, err := assembly.LoadLatestCheckpoint(ck.Dir)
 		switch {
@@ -536,6 +559,8 @@ func (s *Stages) Assemble(pool *dist.Pool, k, procs int, seed int64) (*AssemblyR
 		driver.EnableCheckpoint(assembly.CheckpointConfig{Dir: ck.Dir, Every: ck.Every})
 	}
 	driver.SetContext(s.Cfg.Context)
+	driver.SetMetrics(s.Cfg.Metrics)
+	driver.SetCostModel(s.Cfg.PhaseCosts)
 	if s.Cfg.Watchdog.Window > 0 {
 		driver.EnableWatchdog(s.Cfg.Watchdog)
 	}

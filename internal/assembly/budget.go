@@ -52,6 +52,28 @@ const minPhaseBudget = 100 * time.Millisecond
 // before the first phase; a nil ctx (the default) means unbounded.
 func (d *Driver) SetContext(ctx context.Context) { d.runCtx = ctx }
 
+// SetCostModel replaces the per-phase cost model used to split the run
+// deadline into phase budgets. A resident master shares one model across
+// all jobs on a fleet, so the first job's measured phase durations inform
+// every later job's budgets. Nil keeps the default (a fresh model lazily
+// created from the static priors). Call before the first phase.
+func (d *Driver) SetCostModel(m *metrics.CostModel) {
+	if m != nil {
+		d.costs = m
+	}
+}
+
+// PhasePriors returns a copy of the static phase-weight priors, so a
+// caller building a shared CostModel seeds it exactly as the driver
+// would seed its private one.
+func PhasePriors() map[string]float64 {
+	priors := make(map[string]float64, len(phasePriors))
+	for ph, w := range phasePriors {
+		priors[ph] = w
+	}
+	return priors
+}
+
 // remainingPhases returns the canonical tail of the phase order starting
 // at phase (the phase itself included).
 func remainingPhases(phase string) []string {

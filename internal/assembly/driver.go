@@ -7,6 +7,7 @@ import (
 	"log"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,11 @@ type Driver struct {
 	runCtx context.Context
 	costs  *metrics.CostModel
 	wd     *WatchdogConfig
+
+	// reg is the optional operational-metrics sink (DESIGN.md §16): fault
+	// counters and per-phase latency histograms. Nil (the default) costs a
+	// nil check per event; never wire-encoded (it lives outside Config).
+	reg *metrics.Registry
 
 	// extractWorkers bounds the parallel subgraph-extraction fan-out (0 =
 	// GOMAXPROCS, 1 = serial; equivalence tests pin both and compare).
@@ -142,6 +148,12 @@ func (r DegradeReason) String() string {
 	}
 	return fmt.Sprintf("DegradeReason(%d)", int(r))
 }
+
+// SetMetrics attaches an operational-metrics registry: re-host, lost-
+// partition and degradation counters plus per-phase latency histograms
+// land in it. Nil (the default) disables instrumentation. Call before the
+// first phase.
+func (d *Driver) SetMetrics(reg *metrics.Registry) { d.reg = reg }
 
 // Degraded reports whether the driver runs phases locally (master-side)
 // instead of on the worker pool.
@@ -277,6 +289,7 @@ func (d *Driver) rehostParts(ctx context.Context, parts []int, logMoves bool) er
 				d.placement[p] = target[i]
 				d.partEpoch[p] = epochs[i]
 				if logMoves {
+					d.reg.Counter("assembly_rehost_total").Inc()
 					log.Printf("assembly: partition %d re-hosted onto worker %d (epoch %d)", p, target[i], epochs[i])
 				}
 				continue
@@ -287,6 +300,7 @@ func (d *Driver) rehostParts(ctx context.Context, parts []int, logMoves bool) er
 				return fmt.Errorf("assembly: loading partition %d: %w", p, cerr)
 			}
 			if dist.IsTransportError(err) || IsRehostable(err) {
+				d.reg.Counter("assembly_rehost_failed_total").Inc()
 				log.Printf("assembly: re-hosting partition %d onto worker %d failed (%v); retrying elsewhere", p, target[i], err)
 				remaining = append(remaining, p)
 				continue
@@ -368,7 +382,9 @@ func (d *Driver) Close() error {
 		return nil
 	}
 	var firstErr error
-	for w := 0; w < d.Pool.Size(); w++ {
+	// Members, not 0..Size(): on a view only member workers are reachable
+	// (and only they can hold this run's state).
+	for _, w := range d.Pool.Members() {
 		var ok bool
 		if err := d.Pool.Call(w, "Unload", &UnloadArgs{RunID: d.runID}, &ok); err != nil && firstErr == nil {
 			firstErr = err
@@ -396,6 +412,12 @@ type phaseResult struct {
 func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []time.Duration, error) {
 	if cerr := ctxErr(d.runCtx); cerr != nil {
 		return nil, nil, cerr
+	}
+	if d.reg != nil {
+		start := time.Now()
+		defer func() {
+			d.reg.Histogram("assembly_phase_seconds_" + strings.ToLower(phase)).Observe(time.Since(start))
+		}()
 	}
 	// Derive this phase's context (its slice of the run deadline, plus the
 	// watchdog's cancel authority) and retire it when the phase ends.
@@ -447,6 +469,7 @@ func (d *Driver) runPhase(phase string, vcfg VariantConfig) ([]phaseResult, []ti
 		// the work still fits on the master — subgraph extraction and the
 		// phase scans are the same code the workers run.
 		if errors.Is(err, dist.ErrNoWorkers) || d.Pool.NumHealthy() == 0 {
+			d.reg.Counter("assembly_degraded_total").Inc()
 			log.Printf("assembly: %s phase: no healthy workers (%v); falling back to local execution", phase, err)
 			res, lerr := d.runPhaseLocal(ctx, phase, vcfg)
 			return res, times, lerr
@@ -559,6 +582,7 @@ func (d *Driver) runPhaseStateful(ctx context.Context, phase string, vcfg Varian
 				return nil, times, cerr
 			}
 			if dist.IsTransportError(err) || IsRehostable(err) {
+				d.reg.Counter("assembly_partition_lost_total").Inc()
 				log.Printf("assembly: %s phase: partition %d lost on worker %d (%v); re-hosting", phase, p, d.placement[p], err)
 				d.placement[p] = -1
 				next = append(next, p)
@@ -583,6 +607,7 @@ func (d *Driver) fallBackStateful(phase string, err error) bool {
 	}
 	d.localOnly = true
 	d.degradeRsn = DegradeFailure
+	d.reg.Counter("assembly_degraded_total").Inc()
 	d.pendingNodes, d.pendingEdges = nil, nil
 	// The cause names the partition/worker that triggered the degradation
 	// (rehostParts and the phase loop build it that way).

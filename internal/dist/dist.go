@@ -179,20 +179,44 @@ type worker struct {
 
 // Pool is a set of workers addressed by index. Worker slots are fixed at
 // construction; health state decides which are schedulable at any moment.
+// A Pool handle is either a root (owns the fleet and its lifecycle) or a
+// view created by View: a restricted handle that shares the fleet's
+// workers, reconnect machinery and health state but schedules only onto
+// its member subset and keeps its own completion counter. Worker ids are
+// always root-global, in views too.
 type Pool struct {
 	opt     Options
 	workers []*worker
 
+	// View state: root points at the owning pool (nil on the root
+	// itself); mask[id] marks this handle's member workers (nil = all).
+	root *Pool
+	mask []bool
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	hookMu        sync.Mutex
-	reconnectHook func(worker int)
+	// Reconnect-hook registry (root-held, guarded by hookMu): every
+	// registered hook runs when a severed worker is reinstated. slotHook
+	// is the per-handle single-slot SetReconnectHook compatibility wrapper
+	// over the registry, so each view carries one independent slot.
+	hookMu   sync.Mutex
+	hooks    map[int]func(worker int)
+	nextHook int
+	slotHook int
+	slotSet  bool
 
 	// completions counts finished worker calls (any outcome). Watchdogs
 	// read it as the pool's progress signal: a stuck phase is one whose
-	// counter stops moving.
+	// counter stops moving. Views keep their own counter (a per-job
+	// watchdog must not read another job's traffic as progress); the root
+	// counter aggregates the whole fleet.
 	completions atomic.Int64
+
+	// Fleet-wide fault counters (root-held), surfaced by Health().
+	evictions  atomic.Int64
+	reconnects atomic.Int64
+	kicks      atomic.Int64
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -210,8 +234,24 @@ func newPool(opt Options) *Pool {
 	return &Pool{
 		opt:    opt,
 		rng:    rand.New(rand.NewSource(opt.Seed)),
+		hooks:  make(map[int]func(int)),
 		closed: make(chan struct{}),
 	}
+}
+
+// shared returns the root pool that owns the fleet's shared state
+// (reconnect loops, hook registry, counters, lifecycle); for a root pool
+// that is the pool itself.
+func (p *Pool) shared() *Pool {
+	if p.root != nil {
+		return p.root
+	}
+	return p
+}
+
+// allowed reports whether worker id is a member of this handle.
+func (p *Pool) allowed(id int) bool {
+	return p.mask == nil || (id >= 0 && id < len(p.mask) && p.mask[id])
 }
 
 // NewLocalPool starts n in-process workers, each hosting its own service
@@ -381,13 +421,66 @@ func (p *Pool) HealthyIDs() []int {
 // use it to schedule rebalancing onto the recovered worker. Pass nil to
 // clear. The hook must not block: it runs on the reconnect loop's
 // goroutine and a slow hook delays the worker's return to service.
+//
+// The slot is per handle: each View carries its own, so concurrent
+// drivers on views of one fleet do not clobber each other. AddReconnectHook
+// is the multi-listener registry underneath.
 func (p *Pool) SetReconnectHook(fn func(worker int)) {
+	s := p.shared()
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	if p.slotSet {
+		delete(s.hooks, p.slotHook)
+		p.slotSet = false
+	}
+	if fn != nil {
+		p.slotHook = s.addHookLocked(fn)
+		p.slotSet = true
+	}
+}
+
+// AddReconnectHook registers fn alongside any other reconnect hooks and
+// returns a registration id for RemoveReconnectHook. Hooks run
+// sequentially on the reconnect goroutine and must not block.
+func (p *Pool) AddReconnectHook(fn func(worker int)) int {
+	s := p.shared()
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	return s.addHookLocked(fn)
+}
+
+// RemoveReconnectHook deregisters a hook by its AddReconnectHook id.
+func (p *Pool) RemoveReconnectHook(id int) {
+	s := p.shared()
+	s.hookMu.Lock()
+	delete(s.hooks, id)
+	s.hookMu.Unlock()
+}
+
+func (p *Pool) addHookLocked(fn func(worker int)) int {
+	p.nextHook++
+	p.hooks[p.nextHook] = fn
+	return p.nextHook
+}
+
+// runReconnectHooks snapshots and invokes every registered hook (called
+// from the reconnect loop on the root pool).
+func (p *Pool) runReconnectHooks(worker int) {
 	p.hookMu.Lock()
-	p.reconnectHook = fn
+	fns := make([]func(int), 0, len(p.hooks))
+	for _, fn := range p.hooks {
+		fns = append(fns, fn)
+	}
 	p.hookMu.Unlock()
+	for _, fn := range fns {
+		fn(worker)
+	}
 }
 
 func (p *Pool) workerRunnable(w *worker) bool {
+	if !p.allowed(w.id) {
+		return false
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.client != nil && !w.evicted
@@ -418,6 +511,9 @@ func (p *Pool) CallCtx(ctx context.Context, i int, method string, args, reply in
 	if i < 0 || i >= len(p.workers) {
 		return fmt.Errorf("dist: worker %d out of range [0,%d)", i, len(p.workers))
 	}
+	if !p.allowed(i) {
+		return fmt.Errorf("dist: worker %d not a member of this pool view: %w", i, ErrWorkerDown)
+	}
 	return p.callWorkerCtx(ctx, p.workers[i], method, args, reply)
 }
 
@@ -433,6 +529,9 @@ func (p *Pool) StuckWorkers(window time.Duration) []int {
 	now := time.Now().UnixNano()
 	var ids []int
 	for _, w := range p.workers {
+		if !p.allowed(w.id) {
+			continue
+		}
 		if start := w.callStart.Load(); start != 0 && now-start >= int64(window) {
 			ids = append(ids, w.id)
 		}
@@ -447,7 +546,7 @@ func (p *Pool) StuckWorkers(window time.Duration) []int {
 // evict-and-rehost escalation. Returns false if the worker had no live
 // connection to sever.
 func (p *Pool) Kick(i int) bool {
-	if i < 0 || i >= len(p.workers) {
+	if i < 0 || i >= len(p.workers) || !p.allowed(i) {
 		return false
 	}
 	w := p.workers[i]
@@ -457,6 +556,7 @@ func (p *Pool) Kick(i int) bool {
 	if c == nil {
 		return false
 	}
+	p.shared().kicks.Add(1)
 	p.record(w, c, fmt.Errorf("dist: worker %d: %w", i, ErrKicked))
 	return true
 }
@@ -554,6 +654,10 @@ func (p *Pool) noteCallEnd(w *worker) {
 		w.callStart.Store(0)
 	}
 	p.completions.Add(1)
+	// A view's traffic also counts as fleet progress on the root.
+	if s := p.shared(); s != p {
+		s.completions.Add(1)
+	}
 }
 
 // IsTransportError reports whether err indicates the worker (or the
@@ -576,6 +680,7 @@ func IsTransportError(err error) bool {
 // I/O error, and a timed-out call could still write into its abandoned
 // reply if the connection were kept.
 func (p *Pool) record(w *worker, c *rpc.Client, err error) {
+	p = p.shared() // reconnect spawning and lifecycle state live on the root
 	w.mu.Lock()
 	if w.client != c { // stale generation: outcome of an already-severed conn
 		w.mu.Unlock()
@@ -597,6 +702,7 @@ func (p *Pool) record(w *worker, c *rpc.Client, err error) {
 	w.mu.Unlock()
 	c.Close()
 	if dead {
+		p.evictions.Add(1)
 		p.opt.Logf("dist: worker %d evicted after %d consecutive transport failure(s) (last: %v)", w.id, fails, err)
 		return
 	}
@@ -640,18 +746,15 @@ func (p *Pool) reconnectLoop(w *worker) {
 		}
 		w.client = client
 		w.mu.Unlock()
+		p.reconnects.Add(1)
 		p.opt.Logf("dist: worker %d reconnected", w.id)
-		p.hookMu.Lock()
-		hook := p.reconnectHook
-		p.hookMu.Unlock()
-		if hook != nil {
-			hook(w.id)
-		}
+		p.runReconnectHooks(w.id)
 		return
 	}
 	w.mu.Lock()
 	w.evicted = true
 	w.mu.Unlock()
+	p.evictions.Add(1)
 	p.opt.Logf("dist: worker %d evicted after %d failed reconnect attempts", w.id, p.opt.MaxReconnects)
 }
 
@@ -742,7 +845,7 @@ func HealthCheck(addr string, timeout time.Duration) error {
 
 func (p *Pool) isClosed() bool {
 	select {
-	case <-p.closed:
+	case <-p.shared().closed:
 		return true
 	default:
 		return false
@@ -754,7 +857,14 @@ func (p *Pool) isClosed() bool {
 // idempotent: the first call performs the teardown and waits for every
 // background goroutine to exit; later (or concurrent) calls wait for
 // that teardown to finish and return the same error.
+//
+// Closing a view releases only the view (its reconnect-hook slot); the
+// fleet stays up for the other views and the root.
 func (p *Pool) Close() error {
+	if p.root != nil {
+		p.SetReconnectHook(nil)
+		return nil
+	}
 	p.closeOnce.Do(func() {
 		// Holding spawnMu across the close orders us against record()'s
 		// reconnect-loop spawns: no wg.Add can land after wg.Wait starts.

@@ -108,6 +108,10 @@ func (p *Pool) ParallelCallsPlacedCtx(ctx context.Context, tasks int, place func
 				errs[t] = fmt.Errorf("dist: task %d placed on worker %d outside [0,%d)", t, wid, len(p.workers))
 				return
 			}
+			if !p.allowed(wid) {
+				errs[t] = fmt.Errorf("dist: task %d placed on worker %d not a member of this pool view: %w", t, wid, ErrWorkerDown)
+				return
+			}
 			w := p.workers[wid]
 			// Argument construction happens on the master and is not
 			// part of the worker's task time.

@@ -1,0 +1,54 @@
+package jobs
+
+import (
+	"bytes"
+	"testing"
+
+	"focus/internal/dist"
+)
+
+// FuzzJobWire decodes arbitrary bytes as both wire records. These bytes
+// come off disk after a crash, so the decoder must never panic, and any
+// payload it does accept must re-encode to an equivalent record
+// (decode∘encode is the identity on the accepted set).
+func FuzzJobWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Spec{Name: "seed", InputPath: "r.fastq", K: 2}).AppendTo(nil))
+	st := sampleStatus()
+	f.Add(st.AppendTo(nil))
+	st.Workers = nil
+	f.Add(st.AppendTo(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sp Spec
+		r := dist.NewWireReader(data)
+		sp.DecodeFrom(&r)
+		if r.Finish() == nil {
+			re := sp.AppendTo(nil)
+			var sp2 Spec
+			r2 := dist.NewWireReader(re)
+			sp2.DecodeFrom(&r2)
+			if err := r2.Finish(); err != nil {
+				t.Fatalf("re-encoded spec unreadable: %v", err)
+			}
+			if !bytes.Equal(re, sp2.AppendTo(nil)) {
+				t.Fatalf("spec re-encode not stable: %x vs %x", re, sp2.AppendTo(nil))
+			}
+		}
+
+		var status Status
+		rs := dist.NewWireReader(data)
+		status.DecodeFrom(&rs)
+		if rs.Finish() == nil {
+			re := status.AppendTo(nil)
+			var status2 Status
+			rs2 := dist.NewWireReader(re)
+			status2.DecodeFrom(&rs2)
+			if err := rs2.Finish(); err != nil {
+				t.Fatalf("re-encoded status unreadable: %v", err)
+			}
+			if !bytes.Equal(re, status2.AppendTo(nil)) {
+				t.Fatalf("status re-encode not stable: %x vs %x", re, status2.AppendTo(nil))
+			}
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"focus/internal/dist"
+	"focus/internal/testutil"
+)
+
+// TestJobLifecycleDoneResult: a submitted job runs to Done on its worker
+// view and its contigs are byte-identical to a solo single-tenant run of
+// the same input — multi-tenancy must not perturb output.
+func TestJobLifecycleDoneResult(t *testing.T) {
+	t.Cleanup(func() { testutil.NoLeaks(t) })
+	const k = 4
+	input := writeInput(t, 3000, 6, 7)
+	want := soloBaseline(t, input, k)
+
+	fleet := newFleet(t, 2, dist.Options{})
+	s, err := NewServer(fleet, Options{
+		MaxRunning: 2, Root: t.TempDir(), Template: testTemplate(), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	id, err := s.Submit(Spec{Name: "solo", InputPath: input, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(id); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != Done || st.Attempts != 1 || st.Contigs == 0 {
+		t.Fatalf("done status %+v, want Done after 1 attempt with contigs", st)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("workers %v, want the whole 2-worker fleet", st.Workers)
+	}
+	if st.SubmittedAt == 0 || st.StartedAt < st.SubmittedAt || st.FinishedAt < st.StartedAt {
+		t.Fatalf("timestamps out of order: %+v", st)
+	}
+	got, err := s.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameContigs(got, want) {
+		t.Fatalf("multi-tenant contigs diverge from solo baseline (%d vs %d contigs)", len(got), len(want))
+	}
+	// The durable record reflects the terminal state.
+	rec, err := readStatus(s.jobs[id].dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != Done || rec.Contigs != st.Contigs {
+		t.Fatalf("durable record %+v, want Done with %d contigs", rec, st.Contigs)
+	}
+}
+
+// TestJobKillResumeByteIdentical: killing a running job checkpoints it;
+// Resume restarts from the last frame and the final contigs still match
+// an uninterrupted solo run exactly.
+func TestJobKillResumeByteIdentical(t *testing.T) {
+	t.Cleanup(func() { testutil.NoLeaks(t) })
+	const k = 4
+	input := writeInput(t, 12000, 8, 21)
+	want := soloBaseline(t, input, k)
+
+	fleet := newFleet(t, 2, dist.Options{})
+	s, err := NewServer(fleet, Options{
+		MaxRunning: 1, Root: t.TempDir(), Template: testTemplate(), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	id, err := s.Submit(Spec{Name: "interrupted", InputPath: input, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, id, Running, 10*time.Second)
+	if err := s.Kill(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(id); err == nil {
+		t.Fatal("killed job finished with nil error")
+	}
+	st, _ := s.Status(id)
+	if st.State != Killed || !st.Resumable {
+		t.Fatalf("after kill: %+v, want Killed and resumable", st)
+	}
+	// Kill is not contagious to admission: the job resumes cleanly.
+	if err := s.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(id); err != nil {
+		t.Fatalf("resumed job failed: %v", err)
+	}
+	st, _ = s.Status(id)
+	if st.State != Done || st.Attempts != 2 {
+		t.Fatalf("after resume: %+v, want Done on attempt 2", st)
+	}
+	got, err := s.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameContigs(got, want) {
+		t.Fatalf("kill/resume contigs diverge from solo baseline (%d vs %d contigs)", len(got), len(want))
+	}
+	if n := s.Metrics().Counter("jobs_resumed_total").Value(); n != 1 {
+		t.Fatalf("jobs_resumed_total = %d, want 1", n)
+	}
+}
+
+// TestJobRestartRequeues: a drained server leaves durable records; a
+// successor over the same root requeues the unfinished job and completes
+// it baseline-identically; a third server sees only terminal history and
+// reports the in-memory result as gone.
+func TestJobRestartRequeues(t *testing.T) {
+	t.Cleanup(func() { testutil.NoLeaks(t) })
+	const k = 4
+	input := writeInput(t, 3000, 6, 33)
+	want := soloBaseline(t, input, k)
+	root := t.TempDir()
+	fleet := newFleet(t, 2, dist.Options{})
+
+	// Server A: paused scheduler, so the job is drained while still queued.
+	a, err := NewServer(fleet, Options{MaxRunning: -1, Root: root, Template: testTemplate(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := a.Submit(Spec{Name: "carryover", InputPath: input, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Drain(0)
+	if st, _ := a.Status(id); st.State != Killed || !st.Resumable {
+		t.Fatalf("drained queued job: %+v, want Killed and resumable", st)
+	}
+	a.Close()
+
+	// Server B: reload requeues the unfinished job and runs it.
+	b, err := NewServer(fleet, Options{MaxRunning: 2, Root: root, Template: testTemplate(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Wait(id); err != nil {
+		t.Fatalf("requeued job failed: %v", err)
+	}
+	got, err := b.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameContigs(got, want) {
+		t.Fatalf("restarted-server contigs diverge from solo baseline")
+	}
+	b.Close()
+
+	// Server C: the job is terminal history; the result was not persisted.
+	c, err := NewServer(fleet, Options{MaxRunning: 2, Root: root, Template: testTemplate(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	st, err := c.Status(id)
+	if err != nil || st.State != Done {
+		t.Fatalf("history status %+v err %v, want Done", st, err)
+	}
+	if err := c.Wait(id); err != nil {
+		t.Fatalf("Wait on historical Done job: %v", err)
+	}
+	if _, err := c.Result(id); err == nil {
+		t.Fatal("Result survived a restart; results are in-memory only")
+	}
+}
+
+// TestUnknownJobErrors: every by-id entry point reports ErrNotFound for
+// an id the server has never seen.
+func TestUnknownJobErrors(t *testing.T) {
+	t.Cleanup(func() { testutil.NoLeaks(t) })
+	s := paused(t, 1, Options{})
+	const id = "job-999999"
+	if _, err := s.Status(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Status: %v", err)
+	}
+	if err := s.Wait(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Wait: %v", err)
+	}
+	if _, err := s.Result(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Result: %v", err)
+	}
+	if _, err := s.Watch(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Watch: %v", err)
+	}
+	if err := s.Resume(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Resume: %v", err)
+	}
+}
+
+// TestWatchDeliversTransitions: watchers see the kill transition and the
+// channel closes at terminal; a watch on an already-terminal job yields
+// its final snapshot immediately.
+func TestWatchDeliversTransitions(t *testing.T) {
+	t.Cleanup(func() { testutil.NoLeaks(t) })
+	s := paused(t, 1, Options{})
+	id, err := s.Submit(Spec{Name: "watched", InputPath: "r.fastq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := s.Watch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Kill(id); err != nil {
+		t.Fatal(err)
+	}
+	var last Status
+	for st := range ch {
+		last = st
+	}
+	if last.State != Killed {
+		t.Fatalf("last watched state %s, want Killed", last.State)
+	}
+	late, err := s.Watch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := <-late
+	if !ok || st.State != Killed {
+		t.Fatalf("late watch got (%+v, %v), want buffered Killed snapshot", st, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Fatal("late watch channel not closed after its snapshot")
+	}
+}

@@ -1,0 +1,130 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"focus/internal/dist"
+)
+
+func sampleStatus() Status {
+	return Status{
+		ID: "job-000042",
+		Spec: Spec{
+			Name: "sample", InputPath: "/data/reads.fastq", K: 3, Priority: 7,
+			MaxWorkers: 2, MemoryMB: 512, Deadline: 90 * time.Second, Seed: -9,
+		},
+		State: Killed, Error: "jobs: job killed: context canceled",
+		Resumable: true, Workers: []int{0, 3}, Attempts: 2,
+		SubmittedAt: 111, StartedAt: 222, FinishedAt: 333, Contigs: 5, N50: 1200,
+	}
+}
+
+// TestWireRoundTrip: Spec and Status survive encode→decode exactly,
+// including nil-vs-empty Workers.
+func TestWireRoundTrip(t *testing.T) {
+	in := sampleStatus()
+	r := dist.NewWireReader(in.AppendTo(nil))
+	var out Status
+	out.DecodeFrom(&r)
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("status round trip:\nin  %+v\nout %+v", in, out)
+	}
+
+	spec := in.Spec
+	sr := dist.NewWireReader(spec.AppendTo(nil))
+	var specOut Spec
+	specOut.DecodeFrom(&sr)
+	if err := sr.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, specOut) {
+		t.Fatalf("spec round trip:\nin  %+v\nout %+v", spec, specOut)
+	}
+
+	// nil Workers stays nil (present-bit), empty stays empty.
+	for _, workers := range [][]int{nil, {}} {
+		st := sampleStatus()
+		st.Workers = workers
+		rr := dist.NewWireReader(st.AppendTo(nil))
+		var got Status
+		got.DecodeFrom(&rr)
+		if err := rr.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(st.Workers, got.Workers) {
+			t.Fatalf("workers %#v decoded as %#v", st.Workers, got.Workers)
+		}
+	}
+}
+
+// TestWireRejectsBadState: a state ordinal outside the lifecycle fails
+// the read instead of materializing an impossible status.
+func TestWireRejectsBadState(t *testing.T) {
+	st := sampleStatus()
+	st.State = State(17)
+	r := dist.NewWireReader(st.AppendTo(nil))
+	var out Status
+	out.DecodeFrom(&r)
+	if err := r.Finish(); err == nil {
+		t.Fatal("state 17 decoded without error")
+	}
+}
+
+// TestStatusRecordDurability: the status record round-trips through its
+// framed file; truncation and corruption are detected, never half-loaded.
+func TestStatusRecordDurability(t *testing.T) {
+	dir := t.TempDir()
+	in := sampleStatus()
+	if err := writeStatus(dir, &in); err != nil {
+		t.Fatal(err)
+	}
+	if !statusExists(dir) {
+		t.Fatal("statusExists false after writeStatus")
+	}
+	out, err := readStatus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, *out) {
+		t.Fatalf("durable status:\nin  %+v\nout %+v", in, *out)
+	}
+
+	path := filepath.Join(dir, statusFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readStatus(dir); err == nil {
+		t.Fatal("truncated status record loaded")
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readStatus(dir); err == nil {
+		t.Fatal("corrupted status record loaded")
+	}
+
+	// Spec record alongside it.
+	if err := writeSpec(dir, &in.Spec); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := readSpec(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.Spec, *sp) {
+		t.Fatalf("durable spec:\nin  %+v\nout %+v", in.Spec, *sp)
+	}
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func testPriors() map[string]float64 {
+	return map[string]float64{"A": 3, "B": 1}
+}
+
+// Split edge cases: a nil model, a non-positive remaining budget, and an
+// empty phase list must all yield all-zero shares, never panic or return
+// a short slice.
+func TestSplitEdgeCases(t *testing.T) {
+	m := NewCostModel(testPriors(), 0)
+
+	var nilModel *CostModel
+	shares := nilModel.Split(time.Second, []string{"A", "B"})
+	if len(shares) != 2 || shares[0] != 0 || shares[1] != 0 {
+		t.Fatalf("nil model: got %v, want two zero shares", shares)
+	}
+
+	for _, remaining := range []time.Duration{0, -time.Second} {
+		shares := m.Split(remaining, []string{"A", "B"})
+		if len(shares) != 2 {
+			t.Fatalf("remaining=%v: %d shares for 2 phases", remaining, len(shares))
+		}
+		for i, s := range shares {
+			if s != 0 {
+				t.Fatalf("remaining=%v: share[%d]=%v, want 0", remaining, i, s)
+			}
+		}
+	}
+
+	if shares := m.Split(time.Second, nil); len(shares) != 0 {
+		t.Fatalf("empty phases: got %v, want empty", shares)
+	}
+}
+
+// Unknown phase names get weight 1, not zero: a model must never starve a
+// phase it has no prior for.
+func TestSplitUnknownPhases(t *testing.T) {
+	m := NewCostModel(testPriors(), 0)
+	shares := m.Split(time.Second, []string{"Mystery", "AlsoMystery"})
+	if len(shares) != 2 {
+		t.Fatalf("%d shares for 2 phases", len(shares))
+	}
+	for i, s := range shares {
+		if s != 500*time.Millisecond {
+			t.Fatalf("unknown phases should split evenly: share[%d]=%v", i, s)
+		}
+	}
+}
+
+// All-zero (and negative) priors are dropped at construction, so every
+// phase falls back to weight 1 and the budget splits evenly instead of
+// dividing by a zero total.
+func TestSplitAllZeroPriors(t *testing.T) {
+	m := NewCostModel(map[string]float64{"A": 0, "B": -5}, 0)
+	shares := m.Split(2*time.Second, []string{"A", "B"})
+	if len(shares) != 2 {
+		t.Fatalf("%d shares for 2 phases", len(shares))
+	}
+	if shares[0] != time.Second || shares[1] != time.Second {
+		t.Fatalf("all-zero priors should split evenly: got %v", shares)
+	}
+}
+
+// Priors weight the split before any observation, and shares sum to the
+// remaining budget (within rounding).
+func TestSplitPriorWeights(t *testing.T) {
+	m := NewCostModel(testPriors(), 0)
+	shares := m.Split(4*time.Second, []string{"A", "B"})
+	if shares[0] != 3*time.Second || shares[1] != time.Second {
+		t.Fatalf("3:1 priors over 4s: got %v", shares)
+	}
+	var sum time.Duration
+	for _, s := range shares {
+		sum += s
+	}
+	if diff := sum - 4*time.Second; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("shares sum to %v, want ~4s", sum)
+	}
+}
+
+// Observations dominate priors once present; negative observations are
+// dropped (a clock step must not poison the model).
+func TestObserveUpdatesWeights(t *testing.T) {
+	m := NewCostModel(testPriors(), 0)
+	m.Observe("A", -time.Second) // dropped
+	shares := m.Split(4*time.Second, []string{"A", "B"})
+	if shares[0] != 3*time.Second {
+		t.Fatalf("negative observation changed the split: %v", shares)
+	}
+	// Teach the model that A and B cost the same: the 3:1 prior gives way.
+	for i := 0; i < 8; i++ {
+		m.Observe("A", 100*time.Millisecond)
+		m.Observe("B", 100*time.Millisecond)
+	}
+	shares = m.Split(4*time.Second, []string{"A", "B"})
+	if shares[0] != 2*time.Second || shares[1] != 2*time.Second {
+		t.Fatalf("equal observations should split evenly: got %v", shares)
+	}
+	// Nil-safe Observe.
+	var nilModel *CostModel
+	nilModel.Observe("A", time.Second)
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Nil registries and nil instruments are silent no-ops: optional
+// instrumentation must not require nil checks at every call site.
+func TestRegistryNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(time.Second)
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil counter value %d", v)
+	}
+	snap := r.Snapshot()
+	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+		t.Fatal("nil registry snapshot has nil maps")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("evictions").Add(2)
+	r.Counter("evictions").Inc()
+	r.Gauge("depth").Set(7)
+	r.Gauge("depth").Add(-3)
+	r.Histogram("lat").Observe(3 * time.Millisecond)
+	r.Histogram("lat").Observe(2 * time.Hour) // overflow bucket
+	r.Histogram("lat").Observe(-time.Second)  // dropped
+
+	snap := r.Snapshot()
+	if snap.Counters["evictions"] != 3 {
+		t.Fatalf("counter = %d, want 3", snap.Counters["evictions"])
+	}
+	if snap.Gauges["depth"] != 4 {
+		t.Fatalf("gauge = %d, want 4", snap.Gauges["depth"])
+	}
+	h := snap.Histograms["lat"]
+	if h.Count != 2 {
+		t.Fatalf("histogram count = %d, want 2", h.Count)
+	}
+	var overflow, bounded int64
+	for _, b := range h.Buckets {
+		if b.UpperSeconds <= 0 {
+			overflow += b.Count
+		} else {
+			bounded += b.Count
+		}
+	}
+	if overflow != 1 || bounded != 1 {
+		t.Fatalf("bucket split overflow=%d bounded=%d, want 1/1", overflow, bounded)
+	}
+	// The snapshot is the /metrics document: it must be JSON-encodable.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+// Concurrent updates and snapshots must be race-free (this test is run
+// under -race by scripts/race.sh).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 200; n++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Duration(n) * time.Millisecond)
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := r.Histogram("h").Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}

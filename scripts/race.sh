@@ -25,7 +25,8 @@ go test -race \
     ./internal/dist/... ./internal/assembly/... ./internal/overlap/... \
     ./internal/graph/... ./internal/coarsen/... ./internal/hybrid/... \
     ./internal/partition/... ./internal/checkpoint/... \
-    ./internal/align/... ./internal/par/... ./internal/spmat/...
+    ./internal/align/... ./internal/par/... ./internal/spmat/... \
+    ./internal/jobs/... ./internal/metrics/...
 
 echo "== race: wire chaos sweep =="
 go test -race -run Wire ./internal/dist/ ./internal/assembly/ ./internal/overlap/
@@ -37,6 +38,13 @@ go test -race -run Wire ./internal/dist/ ./internal/assembly/ ./internal/overlap
 echo "== race: cancellation chaos sweep =="
 go test -race -run 'Cancel|Watchdog|Budget|Kick|Gate|Close|Deadline' \
     ./ ./internal/dist/ ./internal/assembly/ ./internal/par/
+
+# Multi-tenant sweep: the resident master's admission, lifecycle and
+# fault-isolation scenarios (including the headline multi-worker chaos
+# run) under race, alongside the dist/assembly tests they lean on.
+echo "== race: multi-tenant sweep =="
+go test -race -run 'Job|Admission|Tenant' \
+    ./internal/jobs/ ./internal/dist/ ./internal/assembly/
 
 if [ "$FUZZTIME" != "0" ]; then
     # -fuzz takes exactly one target per invocation.
@@ -54,6 +62,7 @@ if [ "$FUZZTIME" != "0" ]; then
     fuzz ./internal/align/ FuzzBitParallelNW
     fuzz ./internal/spmat/ FuzzCSRBuild
     fuzz ./internal/spmat/ FuzzCandDecode
+    fuzz ./internal/jobs/ FuzzJobWire
 fi
 
 echo "ok"
